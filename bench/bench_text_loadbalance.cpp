@@ -1,0 +1,61 @@
+// §3.1.1 / §3 "Congestion Control" (in-text numbers): sender-driven path
+// permutation vs per-packet random ECMP.
+//
+// Under a full permutation load the paper reports 0.01% of packets trimmed
+// on core uplinks when *senders* load balance (shuffled walk) vs 2.4% when
+// switches pick randomly per packet, and slightly higher overall capacity
+// for the sender-driven scheme.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "harness/experiments.h"
+
+namespace ndpsim {
+namespace {
+
+void BM_loadbalance(benchmark::State& state) {
+  const auto mode = static_cast<path_mode>(state.range(0));
+  fabric_params fp;
+  fp.proto = protocol::ndp;
+  permutation_result res;
+  double uplink_trim_pct = 0;
+  for (auto _ : state) {
+    auto bed = make_fat_tree_testbed(31, bench::default_k(), fp);
+    flow_options o;
+    o.mode = mode;
+    res = run_permutation(*bed, protocol::ndp, o, from_ms(3), from_ms(8));
+    const auto tor_up = bed->topo->aggregate_stats(link_level::tor_up);
+    const auto agg_up = bed->topo->aggregate_stats(link_level::agg_up);
+    const std::uint64_t up_arrivals = tor_up.arrivals + agg_up.arrivals;
+    const std::uint64_t up_trims = tor_up.trimmed + agg_up.trimmed;
+    uplink_trim_pct = up_arrivals > 0
+                          ? 100.0 * static_cast<double>(up_trims) /
+                                static_cast<double>(up_arrivals)
+                          : 0.0;
+  }
+  state.counters["uplink_trim_pct"] = uplink_trim_pct;
+  state.counters["utilization_pct"] = res.utilization * 100;
+  state.SetLabel(mode == path_mode::permutation
+                     ? "sender permutation (NDP default)"
+                     : "per-packet random ECMP");
+}
+
+BENCHMARK(BM_loadbalance)
+    ->Arg(static_cast<int>(path_mode::permutation))
+    ->Arg(static_cast<int>(path_mode::random_per_packet))
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ndpsim
+
+int main(int argc, char** argv) {
+  ndpsim::bench::print_banner(
+      "Text §3.1.1: sender-permutation vs switch-random load balancing",
+      "uplink trimming ~0.01% with sender permutation vs ~2.4% with random "
+      "per-packet ECMP; permutation buys up to ~10% capacity with 8-packet "
+      "buffers");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Shared helpers for the per-figure benchmark binaries.
+//
+// Every binary reproduces one figure/table of the paper and prints the
+// measured series next to the paper's qualitative expectation.  Topology
+// sizes default to laptop-friendly scale; set NDP_BENCH_SCALE=paper for the
+// paper's sizes (432/8192-host FatTrees etc.).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace ndpsim::bench {
+
+/// True when NDP_BENCH_SCALE=paper: run the paper's full topology sizes.
+inline bool paper_scale() {
+  const char* s = std::getenv("NDP_BENCH_SCALE");
+  return s != nullptr && std::strcmp(s, "paper") == 0;
+}
+
+/// FatTree k for "the 432-host topology" experiments (k=12 at paper scale).
+inline unsigned default_k() { return paper_scale() ? 12 : 8; }
+
+inline void print_banner(const char* figure, const char* expectation) {
+  std::printf("\n=== %s ===\n", figure);
+  std::printf("paper expectation: %s\n", expectation);
+  std::printf("scale: %s (set NDP_BENCH_SCALE=paper for full size)\n\n",
+              paper_scale() ? "paper" : "reduced");
+}
+
+}  // namespace ndpsim::bench

@@ -1,0 +1,55 @@
+// Example: routing around silent link degradation (paper §3.2.3, Fig 22).
+//
+// A core link quietly renegotiates from 10Gb/s to 1Gb/s — the kind of
+// failure routing protocols take a while to notice.  NDP senders keep a
+// per-path scoreboard of ACKs vs NACKs; paths crossing the sick link rack up
+// NACKs and get temporarily evicted from the spraying set.  This example
+// runs the same transfer with the scoreboard on and off.
+//
+//   ./examples/failure_resilience
+#include <cstdio>
+
+#include "harness/experiments.h"
+
+using namespace ndpsim;
+
+namespace {
+
+double run_transfer(bool penalty_enabled) {
+  fabric_params fabric;
+  fabric.proto = protocol::ndp;
+  // Degrade one agg->core uplink (and its reverse) to 1Gb/s.
+  auto degrade = [](link_level level, std::size_t index,
+                    linkspeed_bps def) -> linkspeed_bps {
+    if (level == link_level::agg_up && index == 0) return gbps(1);
+    if (level == link_level::core_down && index == 0) return gbps(1);
+    return def;
+  };
+  auto bed = make_fat_tree_testbed(5, 4, fabric, 1, degrade);
+
+  // A long flow whose path set crosses the degraded link.
+  flow_options o;
+  o.bytes = 20'000'000;  // 20MB
+  o.path_penalty = penalty_enabled;
+  flow& f = bed->flows->create(protocol::ndp, 0, 15, o);
+  run_until_complete(bed->env, {&f}, from_sec(5));
+  if (!f.complete()) return -1;
+  return f.fct_us() / 1000.0;
+}
+
+}  // namespace
+
+int main() {
+  const double with_scoreboard = run_transfer(true);
+  const double without = run_transfer(false);
+  const double ideal_ms = to_us(serialization_time(20'000'000, gbps(10))) / 1000.0;
+  std::printf("20MB transfer across a FatTree with one core link at 1Gb/s:\n");
+  std::printf("  ideal (healthy fabric)      ~%.1f ms\n", ideal_ms);
+  std::printf("  with path scoreboard         %.1f ms\n", with_scoreboard);
+  std::printf("  without (blind spraying)     %.1f ms\n", without);
+  std::printf("\nThe scoreboard notices the NACK-heavy paths within an RTT "
+              "or two and stops using them until they recover.\n");
+  return with_scoreboard > 0 && (without < 0 || with_scoreboard < without)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,63 @@
+// Example: receiver-side priority for straggler responses (paper §2.1, Fig 10).
+//
+// A frontend has fanned out two requests.  The last responses of request A
+// ("stragglers") overlap the first responses of request B, and the
+// application needs all of A before it can proceed.  Because NDP receivers
+// control their inbound traffic via the pull queue, the frontend can mark
+// the straggler connections high priority and their PULLs overtake
+// everything else — no switch or sender cooperation needed.
+//
+//   ./examples/priority_stragglers
+#include <cstdio>
+
+#include "harness/flow_factory.h"
+#include "harness/queue_factory.h"
+#include "topo/micro_topo.h"
+
+using namespace ndpsim;
+
+namespace {
+
+double run(bool prioritize_stragglers) {
+  sim_env env(3);
+  fabric_params fabric;
+  fabric.proto = protocol::ndp;
+  single_switch topo(env, 10, gbps(10), from_us(1),
+                     make_queue_factory(env, fabric));
+  flow_factory flows(env, topo);
+  const std::uint32_t frontend = 9;
+
+  // Request B: eight workers start sending 500KB responses now.
+  for (std::uint32_t w = 0; w < 8; ++w) {
+    flow_options o;
+    o.bytes = 500'000;
+    flows.create(protocol::ndp, w, frontend, o);
+  }
+  // Request A's straggler: one worker is late with a 100KB response the
+  // application is actually blocked on.
+  flow_options straggler;
+  straggler.bytes = 100'000;
+  straggler.start = from_us(100);
+  if (prioritize_stragglers) straggler.pull_class = 3;
+  flow& f = flows.create(protocol::ndp, 8, frontend, straggler);
+
+  while (!f.complete() && env.events.run_next_event()) {
+  }
+  return f.fct_us();
+}
+
+}  // namespace
+
+int main() {
+  const double with_prio = run(true);
+  const double without = run(false);
+  const double idle_us =
+      to_us(serialization_time(100'000 + (100'000 / 8936 + 1) * 64, gbps(10)));
+  std::printf("straggler 100KB response arriving into an 8-way fan-in:\n");
+  std::printf("  idle network would take       ~%.0f us\n", idle_us);
+  std::printf("  with receiver prioritization   %.0f us\n", with_prio);
+  std::printf("  without (fair pull sharing)    %.0f us\n", without);
+  std::printf("\nThe receiver reordered its own pull queue; nothing in the "
+              "network changed.\n");
+  return with_prio < without ? 0 : 1;
+}

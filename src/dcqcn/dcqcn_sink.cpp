@@ -1,0 +1,49 @@
+#include "dcqcn/dcqcn_sink.h"
+
+namespace ndpsim {
+
+void dcqcn_sink::receive(packet& p) {
+  NDPSIM_ASSERT(p.type == packet_type::dcqcn_data);
+  NDPSIM_ASSERT(p.flow_id == flow_id_);
+
+  const bool marked = p.has_flag(pkt_flag::ce);
+  if (p.seqno > cum_ && ooo_.find(p.seqno) == ooo_.end()) {
+    payload_ += p.payload_bytes;
+    if (p.seqno == cum_ + 1) {
+      ++cum_;
+      auto it = ooo_.begin();
+      while (it != ooo_.end() && *it == cum_ + 1) {
+        ++cum_;
+        it = ooo_.erase(it);
+      }
+    } else {
+      ooo_.insert(p.seqno);
+    }
+  }
+
+  // NP: CNPs are rate-limited per flow; ACK every packet (cumulative).
+  if (marked && env_.now() - last_cnp_ >= cnp_interval_) {
+    last_cnp_ = env_.now();
+    ++cnps_;
+    send_control(packet_type::dcqcn_cnp, cum_);
+  }
+  send_control(packet_type::dcqcn_ack, cum_);
+  env_.pool.release(&p);
+}
+
+void dcqcn_sink::send_control(packet_type type, std::uint64_t ackno) {
+  NDPSIM_ASSERT_MSG(rev_route_ != nullptr, "dcqcn_sink not bound");
+  packet* c = env_.pool.alloc();
+  c->type = type;
+  c->priority = 1;
+  c->flow_id = flow_id_;
+  c->src = local_host_;
+  c->dst = remote_host_;
+  c->size_bytes = kHeaderBytes;
+  c->ackno = ackno;
+  c->rt = rev_route_;
+  c->next_hop = 0;
+  send_to_next_hop(*c);
+}
+
+}  // namespace ndpsim

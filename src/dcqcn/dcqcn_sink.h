@@ -1,0 +1,4 @@
+// Split out so CMake has a separate TU; the class lives with the source's
+// header for cohesion.
+#pragma once
+#include "dcqcn/dcqcn_source.h"

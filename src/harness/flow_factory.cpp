@@ -1,0 +1,291 @@
+#include "harness/flow_factory.h"
+
+#include <algorithm>
+
+#include "dcqcn/dcqcn_sink.h"
+#include "dctcp/dctcp_source.h"
+#include "mptcp/mptcp_source.h"
+#include "tcp/tcp_sink.h"
+#include "tcp/tcp_source.h"
+
+namespace ndpsim {
+
+namespace {
+
+class ndp_flow final : public flow {
+ public:
+  ndp_flow(sim_env& env, topology& topo, pull_pacer& pacer, std::uint32_t fid,
+           std::uint32_t s, std::uint32_t d, const flow_options& o) {
+    ndp_source_config sc;
+    sc.mss_bytes = o.mss_bytes;
+    sc.iw_packets = o.iw_packets;
+    sc.rto = o.ndp_rto;
+    sc.mode = o.mode;
+    sc.penalty.enabled = o.path_penalty;
+    source_ = std::make_unique<ndp_source>(env, sc, fid,
+                                           "ndpsrc" + std::to_string(fid));
+    ndp_sink_config kc;
+    kc.mss_bytes = o.mss_bytes;
+    kc.pull_class = o.pull_class;
+    sink_ = std::make_unique<ndp_sink>(env, pacer, kc, fid);
+    std::vector<std::unique_ptr<route>> fwd, rev;
+    topo.make_routes(s, d, fwd, rev, o.max_paths);
+    source_->connect(*sink_, std::move(fwd), std::move(rev), s, d, o.bytes,
+                     o.start);
+  }
+
+  [[nodiscard]] std::uint64_t payload_received() const override {
+    return sink_->payload_received();
+  }
+  [[nodiscard]] bool complete() const override { return sink_->complete(); }
+  [[nodiscard]] simtime_t completion_time() const override {
+    return sink_->completion_time();
+  }
+  void on_complete(std::function<void()> cb) override {
+    sink_->set_complete_callback(std::move(cb));
+  }
+  void set_priority(std::uint8_t cls) override { sink_->set_pull_class(cls); }
+  void set_latency_callback(std::function<void(simtime_t)> cb) override {
+    source_->set_latency_callback(std::move(cb));
+  }
+  [[nodiscard]] ndp_source* ndp_src() override { return source_.get(); }
+  [[nodiscard]] ndp_sink* ndp_snk() override { return sink_.get(); }
+
+ private:
+  std::unique_ptr<ndp_source> source_;
+  std::unique_ptr<ndp_sink> sink_;
+};
+
+class tcp_flow final : public flow {
+ public:
+  tcp_flow(sim_env& env, topology& topo, bool dctcp, std::uint32_t fid,
+           std::uint32_t s, std::uint32_t d, const flow_options& o) {
+    tcp_config tc;
+    tc.mss_bytes = o.mss_bytes;
+    tc.iw_mss = o.tcp_iw_mss;
+    tc.min_rto = o.min_rto;
+    tc.handshake = o.handshake;
+    tc.max_cwnd_mss = o.max_cwnd_mss;
+    if (dctcp) {
+      source_ = std::make_unique<dctcp_source>(env, tc, dctcp_config{}, fid,
+                                               "dctcp" + std::to_string(fid));
+    } else {
+      source_ = std::make_unique<tcp_source>(env, tc, fid,
+                                             "tcp" + std::to_string(fid));
+    }
+    sink_ = std::make_unique<tcp_sink>(env, fid);
+    // Per-flow ECMP: one path, chosen by "hash" (uniform draw at creation).
+    const std::size_t n = topo.n_paths(s, d);
+    const std::size_t path =
+        o.fixed_path >= 0 ? static_cast<std::size_t>(o.fixed_path)
+                          : env.rand_below(n);
+    auto [fwd, rev] = topo.make_route_pair(s, d, path);
+    source_->connect(*sink_, std::move(fwd), std::move(rev), s, d, o.bytes,
+                     o.start);
+  }
+
+  [[nodiscard]] std::uint64_t payload_received() const override {
+    return sink_->payload_received();
+  }
+  [[nodiscard]] bool complete() const override { return source_->complete(); }
+  [[nodiscard]] simtime_t completion_time() const override {
+    return source_->completion_time();
+  }
+  void on_complete(std::function<void()> cb) override {
+    source_->set_complete_callback(std::move(cb));
+  }
+  [[nodiscard]] tcp_source& source() { return *source_; }
+
+ private:
+  std::unique_ptr<tcp_source> source_;
+  std::unique_ptr<tcp_sink> sink_;
+};
+
+class mptcp_flow final : public flow {
+ public:
+  mptcp_flow(sim_env& env, topology& topo, std::uint32_t fid, std::uint32_t s,
+             std::uint32_t d, const flow_options& o) {
+    tcp_config tc;
+    tc.mss_bytes = o.mss_bytes;
+    tc.iw_mss = o.tcp_iw_mss;
+    tc.min_rto = o.min_rto;
+    tc.handshake = o.handshake;
+    tc.max_cwnd_mss = o.max_cwnd_mss;
+    source_ = std::make_unique<mptcp_source>(env, tc, fid,
+                                             "mptcp" + std::to_string(fid));
+    // Distinct paths for the subflows (sampled without replacement when
+    // possible).
+    const std::size_t n = topo.n_paths(s, d);
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    std::shuffle(all.begin(), all.end(), env.rng);
+    const std::size_t k = std::max<std::size_t>(1, o.subflows);
+    std::vector<std::unique_ptr<route>> fwd, rev;
+    for (std::size_t i = 0; i < k; ++i) {
+      auto [f, r] = topo.make_route_pair(s, d, all[i % n]);
+      fwd.push_back(std::move(f));
+      rev.push_back(std::move(r));
+    }
+    source_->connect(std::move(fwd), std::move(rev), s, d, o.bytes, o.start);
+  }
+
+  [[nodiscard]] std::uint64_t payload_received() const override {
+    return source_->total_payload_received();
+  }
+  [[nodiscard]] bool complete() const override { return source_->complete(); }
+  [[nodiscard]] simtime_t completion_time() const override {
+    return source_->completion_time();
+  }
+  void on_complete(std::function<void()> cb) override {
+    source_->set_complete_callback(std::move(cb));
+  }
+
+ private:
+  std::unique_ptr<mptcp_source> source_;
+};
+
+class dcqcn_flow final : public flow {
+ public:
+  dcqcn_flow(sim_env& env, topology& topo, std::uint32_t fid, std::uint32_t s,
+             std::uint32_t d, const flow_options& o) {
+    dcqcn_config dc;
+    dc.mss_bytes = o.mss_bytes;
+    dc.line_rate = topo.host_link_speed(s);
+    source_ = std::make_unique<dcqcn_source>(env, dc, fid,
+                                             "dcqcn" + std::to_string(fid));
+    sink_ = std::make_unique<dcqcn_sink>(env, fid);
+    const std::size_t n = topo.n_paths(s, d);
+    const std::size_t path =
+        o.fixed_path >= 0 ? static_cast<std::size_t>(o.fixed_path)
+                          : env.rand_below(n);
+    auto [fwd, rev] = topo.make_route_pair(s, d, path);
+    source_->connect(*sink_, std::move(fwd), std::move(rev), s, d, o.bytes,
+                     o.start);
+  }
+
+  [[nodiscard]] std::uint64_t payload_received() const override {
+    return sink_->payload_received();
+  }
+  [[nodiscard]] bool complete() const override { return source_->complete(); }
+  [[nodiscard]] simtime_t completion_time() const override {
+    return source_->completion_time();
+  }
+  void on_complete(std::function<void()> cb) override {
+    source_->set_complete_callback(std::move(cb));
+  }
+
+ private:
+  std::unique_ptr<dcqcn_source> source_;
+  std::unique_ptr<dcqcn_sink> sink_;
+};
+
+class phost_flow final : public flow {
+ public:
+  phost_flow(sim_env& env, topology& topo, phost_token_pacer& pacer,
+             std::uint32_t fid, std::uint32_t s, std::uint32_t d,
+             const flow_options& o) {
+    phost_config pc;
+    pc.mss_bytes = o.mss_bytes;
+    source_ = std::make_unique<phost_source>(env, pc, fid,
+                                             "phost" + std::to_string(fid));
+    sink_ = std::make_unique<phost_sink>(env, pacer, pc, fid);
+    std::vector<std::unique_ptr<route>> fwd, rev;
+    topo.make_routes(s, d, fwd, rev, o.max_paths);
+    source_->connect(*sink_, std::move(fwd), std::move(rev), s, d, o.bytes,
+                     o.start);
+  }
+
+  [[nodiscard]] std::uint64_t payload_received() const override {
+    return sink_->payload_received();
+  }
+  [[nodiscard]] bool complete() const override { return sink_->complete(); }
+  [[nodiscard]] simtime_t completion_time() const override {
+    return sink_->completion_time();
+  }
+  void on_complete(std::function<void()> cb) override {
+    sink_->set_complete_callback(std::move(cb));
+  }
+
+ private:
+  std::unique_ptr<phost_source> source_;
+  std::unique_ptr<phost_sink> sink_;
+};
+
+}  // namespace
+
+pull_pacer& flow_factory::ndp_pacer(std::uint32_t host) {
+  auto it = pull_pacers_.find(host);
+  if (it == pull_pacers_.end()) {
+    it = pull_pacers_
+             .emplace(host, std::make_unique<pull_pacer>(
+                                env_, topo_.host_link_speed(host),
+                                "pacer" + std::to_string(host)))
+             .first;
+  }
+  return *it->second;
+}
+
+phost_token_pacer& flow_factory::phost_pacer(std::uint32_t host) {
+  auto it = token_pacers_.find(host);
+  if (it == token_pacers_.end()) {
+    it = token_pacers_
+             .emplace(host, std::make_unique<phost_token_pacer>(
+                                env_, topo_.host_link_speed(host),
+                                "tokens" + std::to_string(host)))
+             .first;
+  }
+  return *it->second;
+}
+
+flow& flow_factory::create(protocol proto, std::uint32_t src,
+                           std::uint32_t dst, const flow_options& opts) {
+  NDPSIM_ASSERT(src != dst);
+  // MPTCP subflows use a block of ids.
+  const std::uint32_t fid = next_flow_id_;
+  next_flow_id_ += proto == protocol::mptcp ? opts.subflows + 1 : 1;
+
+  std::unique_ptr<flow> f;
+  switch (proto) {
+    case protocol::ndp:
+      f = std::make_unique<ndp_flow>(env_, topo_, ndp_pacer(dst), fid, src,
+                                     dst, opts);
+      break;
+    case protocol::tcp:
+      f = std::make_unique<tcp_flow>(env_, topo_, false, fid, src, dst, opts);
+      break;
+    case protocol::dctcp:
+      f = std::make_unique<tcp_flow>(env_, topo_, true, fid, src, dst, opts);
+      break;
+    case protocol::mptcp:
+      f = std::make_unique<mptcp_flow>(env_, topo_, fid, src, dst, opts);
+      break;
+    case protocol::dcqcn:
+      f = std::make_unique<dcqcn_flow>(env_, topo_, fid, src, dst, opts);
+      break;
+    case protocol::phost:
+      f = std::make_unique<phost_flow>(env_, topo_, phost_pacer(dst), fid, src,
+                                       dst, opts);
+      break;
+  }
+  f->id = fid;
+  f->src = src;
+  f->dst = dst;
+  f->bytes = opts.bytes;
+  f->start_time = opts.start;
+  flows_.push_back(std::move(f));
+  return *flows_.back();
+}
+
+std::uint64_t flow_factory::total_payload_received() const {
+  std::uint64_t total = 0;
+  for (const auto& f : flows_) total += f->payload_received();
+  return total;
+}
+
+std::size_t flow_factory::completed_count() const {
+  std::size_t n = 0;
+  for (const auto& f : flows_) n += f->complete() ? 1 : 0;
+  return n;
+}
+
+}  // namespace ndpsim

@@ -1,0 +1,97 @@
+// Uniform flow handle across all transports, plus the factory that wires
+// endpoints to topology routes (including per-host NDP pull pacers and pHost
+// token pacers).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/queue_factory.h"
+#include "ndp/ndp_sink.h"
+#include "ndp/ndp_source.h"
+#include "ndp/pull_pacer.h"
+#include "phost/phost.h"
+#include "topo/topology.h"
+
+namespace ndpsim {
+
+struct flow_options {
+  std::uint64_t bytes = 0;  ///< 0 = unbounded
+  simtime_t start = 0;
+  std::uint32_t mss_bytes = 9000;
+  // NDP
+  std::uint32_t iw_packets = 30;
+  std::uint8_t pull_class = 0;
+  path_mode mode = path_mode::permutation;
+  bool path_penalty = true;
+  simtime_t ndp_rto = from_ms(1.0);
+  // TCP family
+  simtime_t min_rto = from_ms(200.0);
+  bool handshake = true;
+  std::uint32_t tcp_iw_mss = 2;
+  std::uint32_t max_cwnd_mss = 1000;
+  unsigned subflows = 8;  ///< MPTCP
+  // Path selection
+  std::size_t max_paths = 0;  ///< cap on multipath set size (0 = all)
+  int fixed_path = -1;        ///< force single-path protocols onto this path
+};
+
+/// Handle for one transfer, whatever the transport underneath.
+class flow {
+ public:
+  virtual ~flow() = default;
+  [[nodiscard]] virtual std::uint64_t payload_received() const = 0;
+  [[nodiscard]] virtual bool complete() const = 0;
+  [[nodiscard]] virtual simtime_t completion_time() const = 0;
+  virtual void on_complete(std::function<void()> cb) = 0;
+  /// Receiver-side priority (NDP pull classes); no-op elsewhere.
+  virtual void set_priority(std::uint8_t /*cls*/) {}
+  /// Per-packet delivery latency samples (NDP only).
+  virtual void set_latency_callback(std::function<void(simtime_t)> /*cb*/) {}
+  /// Protocol-specific escapes for stats collection (null when not NDP).
+  [[nodiscard]] virtual ndp_source* ndp_src() { return nullptr; }
+  [[nodiscard]] virtual ndp_sink* ndp_snk() { return nullptr; }
+
+  std::uint32_t id = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint64_t bytes = 0;
+  simtime_t start_time = 0;
+
+  /// Completion time relative to the flow's start, in microseconds.
+  [[nodiscard]] double fct_us() const {
+    return complete() ? to_us(completion_time() - start_time) : -1.0;
+  }
+};
+
+class flow_factory {
+ public:
+  flow_factory(sim_env& env, topology& topo) : env_(env), topo_(topo) {}
+
+  /// Create (and own) a flow of `proto` from `src` to `dst`.
+  flow& create(protocol proto, std::uint32_t src, std::uint32_t dst,
+               const flow_options& opts);
+
+  /// The shared per-host pull pacer (created on demand).
+  [[nodiscard]] pull_pacer& ndp_pacer(std::uint32_t host);
+  [[nodiscard]] phost_token_pacer& phost_pacer(std::uint32_t host);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<flow>>& flows() const {
+    return flows_;
+  }
+  [[nodiscard]] std::uint64_t total_payload_received() const;
+  [[nodiscard]] std::size_t completed_count() const;
+
+ private:
+  sim_env& env_;
+  topology& topo_;
+  std::vector<std::unique_ptr<flow>> flows_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<pull_pacer>> pull_pacers_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<phost_token_pacer>>
+      token_pacers_;
+  std::uint32_t next_flow_id_ = 1;
+};
+
+}  // namespace ndpsim

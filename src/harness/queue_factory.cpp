@@ -1,0 +1,67 @@
+#include "harness/queue_factory.h"
+
+#include "cp/cp_queue.h"
+#include "net/fifo_queues.h"
+#include "ndp/ndp_queue.h"
+
+namespace ndpsim {
+
+queue_factory make_queue_factory(sim_env& env, const fabric_params& params) {
+  return [&env, params](link_level level, std::size_t /*index*/,
+                        linkspeed_bps rate,
+                        const std::string& name) -> std::unique_ptr<queue_base> {
+    const std::uint64_t mtu = params.mtu_bytes;
+    if (level == link_level::host_up) {
+      // Window-based transports get a finite NIC (same sizing as the fabric
+      // buffers); receiver-driven/PFC transports never build a NIC backlog.
+      const bool windowed = params.proto == protocol::tcp ||
+                            params.proto == protocol::dctcp ||
+                            params.proto == protocol::mptcp;
+      const std::uint64_t cap = windowed ? params.droptail_pkts * mtu : 0;
+      return std::make_unique<host_priority_queue>(env, rate, name, cap);
+    }
+    switch (params.proto) {
+      case protocol::ndp: {
+        ndp_queue_config qc;
+        qc.data_capacity_bytes = params.ndp_data_pkts * mtu;
+        qc.header_capacity_bytes = params.ndp_header_bytes != 0
+                                       ? params.ndp_header_bytes
+                                       : qc.data_capacity_bytes;
+        qc.wrr_headers_per_data = params.ndp_wrr;
+        qc.enable_rts = params.ndp_rts;
+        qc.random_trim_position = params.ndp_random_trim;
+        return std::make_unique<ndp_queue>(env, rate, qc, name);
+      }
+      case protocol::tcp:
+      case protocol::mptcp:
+        return std::make_unique<drop_tail_queue>(
+            env, rate, params.droptail_pkts * mtu, name);
+      case protocol::dctcp:
+        return std::make_unique<ecn_threshold_queue>(
+            env, rate, params.droptail_pkts * mtu,
+            params.ecn_threshold_pkts * mtu, name);
+      case protocol::dcqcn:
+        return std::make_unique<red_ecn_queue>(
+            env, rate, params.lossless_capacity_pkts * mtu,
+            params.red_kmin_pkts * mtu, params.red_kmax_pkts * mtu,
+            params.red_pmax, name);
+      case protocol::phost:
+        return std::make_unique<drop_tail_queue>(env, rate,
+                                                 params.phost_pkts * mtu, name);
+    }
+    NDPSIM_ASSERT_MSG(false, "unknown protocol");
+    return nullptr;
+  };
+}
+
+bool fabric_is_lossless(protocol p) { return p == protocol::dcqcn; }
+
+pfc_config default_pfc(const fabric_params& params) {
+  pfc_config pfc;
+  pfc.enabled = fabric_is_lossless(params.proto);
+  pfc.xoff_bytes = 25ull * params.mtu_bytes;
+  pfc.xon_bytes = 23ull * params.mtu_bytes;
+  return pfc;
+}
+
+}  // namespace ndpsim

@@ -1,0 +1,61 @@
+// Per-protocol fabric configuration: which queue discipline runs at switch
+// egress ports, with the paper's buffer sizings as defaults (§6.1):
+//   NDP    : 8-packet data queue + equal-byte header queue, WRR 10:1, RTS
+//   DCTCP  : 200-packet drop-tail with sharp ECN threshold at 30 packets
+//   MPTCP/TCP: 200-packet drop-tail
+//   DCQCN  : effectively-lossless queue (PFC) with RED marking from 20 pkts
+//   pHost  : 8-packet drop-tail (its published configuration)
+// Host NICs are always two-band priority queues (control over data).
+#pragma once
+
+#include "net/sim_env.h"
+#include "topo/fat_tree.h"
+#include "topo/topology.h"
+
+namespace ndpsim {
+
+enum class protocol : std::uint8_t { ndp, tcp, dctcp, mptcp, dcqcn, phost };
+
+[[nodiscard]] constexpr const char* to_string(protocol p) {
+  switch (p) {
+    case protocol::ndp: return "NDP";
+    case protocol::tcp: return "TCP";
+    case protocol::dctcp: return "DCTCP";
+    case protocol::mptcp: return "MPTCP";
+    case protocol::dcqcn: return "DCQCN";
+    case protocol::phost: return "pHost";
+  }
+  return "?";
+}
+
+struct fabric_params {
+  protocol proto = protocol::ndp;
+  std::uint32_t mtu_bytes = 9000;
+  // NDP queue
+  std::uint32_t ndp_data_pkts = 8;
+  std::uint32_t ndp_header_bytes = 0;  ///< 0 = same bytes as the data queue
+  unsigned ndp_wrr = 10;
+  bool ndp_rts = true;
+  bool ndp_random_trim = true;
+  // drop-tail family
+  std::uint32_t droptail_pkts = 200;
+  std::uint32_t ecn_threshold_pkts = 30;
+  std::uint32_t phost_pkts = 8;
+  // DCQCN RED marking
+  std::uint32_t red_kmin_pkts = 20;
+  std::uint32_t red_kmax_pkts = 100;
+  double red_pmax = 0.1;
+  std::uint32_t lossless_capacity_pkts = 4000;  ///< "never drops" backstop
+};
+
+/// Egress-queue factory for this fabric (host NICs get priority queues).
+[[nodiscard]] queue_factory make_queue_factory(sim_env& env,
+                                               const fabric_params& params);
+
+/// DCQCN runs over PFC; everything else does not.
+[[nodiscard]] bool fabric_is_lossless(protocol p);
+
+/// PFC thresholds matched to the fabric MTU.
+[[nodiscard]] pfc_config default_pfc(const fabric_params& params);
+
+}  // namespace ndpsim

@@ -1,0 +1,34 @@
+// Models of the two real-world artifacts §6 identifies when comparing the
+// Linux NDP implementation against the simulator:
+//
+//  1. Host processing delay: the prototype needs a ~25-packet initial window
+//     where the simulator needs 15, i.e. the end hosts buffer ~10 packets'
+//     worth (~72us at 10G/9K) of processing latency.  Modelled as extra
+//     per-direction fixed delay on the path (Fig 11 "Experimental").
+//
+//  2. Imperfect PULL pacing: the measured inter-PULL gaps at the sender
+//     (Fig 12) match the target spacing in the median but show variance for
+//     1500B packets (gaps both shorter — back-to-back pulls after reordering
+//     — and several times longer).  `make_pull_jitter` returns a sampler that
+//     reproduces that mixture and plugs into pull_pacer::set_interval_jitter
+//     (Fig 13 re-runs incast with it).
+#pragma once
+
+#include <functional>
+
+#include "net/sim_env.h"
+#include "sim/time.h"
+
+namespace ndpsim {
+
+struct host_delay_model {
+  /// Extra one-way latency contributed by host processing (per direction).
+  simtime_t per_direction = from_us(36.0);
+};
+
+/// Interval-jitter sampler replaying the measured pull-spacing distribution.
+/// `packet_bytes` selects the 1500B (noisy) or 9000B (tight) profile.
+[[nodiscard]] std::function<simtime_t(simtime_t)> make_pull_jitter(
+    sim_env& env, std::uint32_t packet_bytes);
+
+}  // namespace ndpsim

@@ -1,0 +1,54 @@
+#include "host/rpc_latency_model.h"
+
+#include <cmath>
+
+namespace ndpsim {
+
+namespace {
+/// Multiplicative jitter: exp(N(0, sigma)) with sigma = ln(1+frac).
+double jitter(sim_env& env, double value, double frac) {
+  std::normal_distribution<double> n(0.0, std::log(1.0 + frac));
+  return value * std::exp(n(env.rng));
+}
+}  // namespace
+
+sample_set simulate_rpc_latency(sim_env& env, rpc_stack stack,
+                                bool deep_sleep_enabled, std::size_t n,
+                                const rpc_model_params& p) {
+  sample_set out;
+  for (std::size_t i = 0; i < n; ++i) {
+    double us = jitter(env, p.wire_rtt_us, p.jitter_frac);
+    switch (stack) {
+      case rpc_stack::ndp:
+        // Everything in userspace on a spinning core: no interrupts, no
+        // copies, no sleep states.
+        us += jitter(env, p.ndp_processing_us, p.jitter_frac);
+        break;
+      case rpc_stack::tfo:
+        // Data rides the SYN, but the kernel path is crossed in both
+        // directions at both hosts, and the app must be woken.
+        us += jitter(env, 2 * p.kernel_crossing_us, p.jitter_frac);
+        us += jitter(env, p.app_wakeup_us, p.jitter_frac);
+        if (deep_sleep_enabled) {
+          us += jitter(env, p.deep_sleep_wake_us, p.jitter_frac);
+        }
+        break;
+      case rpc_stack::tcp:
+        // TFO plus a full handshake RTT (wire + kernel) before data moves.
+        us += jitter(env, 2 * p.kernel_crossing_us, p.jitter_frac);
+        us += jitter(env, p.app_wakeup_us, p.jitter_frac);
+        us += jitter(env, p.wire_rtt_us + 1.5 * p.kernel_crossing_us,
+                     p.jitter_frac);
+        if (deep_sleep_enabled) {
+          // Both the handshake and the data exchange can find the remote CPU
+          // asleep; empirically the penalty is not paid twice in full.
+          us += jitter(env, 1.2 * p.deep_sleep_wake_us, p.jitter_frac);
+        }
+        break;
+    }
+    out.add(us);
+  }
+  return out;
+}
+
+}  // namespace ndpsim

@@ -1,0 +1,46 @@
+// End-host latency model for the 1KB-RPC experiment (paper Fig 8).
+//
+// The paper measures its Linux/DPDK NDP stack against kernel TCP and TCP
+// Fast Open on two back-to-back servers, and attributes the differences to:
+//   * wire + NIC time        (a DPDK ping measures 22us round trip),
+//   * protocol + application processing (NDP: ~40us, all userspace/polling),
+//   * kernel path costs per stack crossing (interrupts, softirq, copies,
+//     scheduling) for TCP/TFO,
+//   * the TCP handshake (one extra RTT before data, absent in TFO/NDP), and
+//   * deep CPU sleep states: interrupt-driven stacks find the CPU in C-states
+//     below C1 and pay a wake-up penalty; the DPDK core spins and never
+//     sleeps.
+// We model each component as a jittered constant and compose them per RPC —
+// the same decomposition §5.1 uses to explain its measurements.  This
+// substitutes for the bare-metal testbed (documented in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+
+#include "net/sim_env.h"
+#include "stats/cdf.h"
+
+namespace ndpsim {
+
+struct rpc_model_params {
+  double wire_rtt_us = 22.0;       ///< DPDK ping-pong, 1KB
+  double ndp_processing_us = 40.0; ///< NDP proto + app on dedicated core
+  double kernel_crossing_us = 32.0;  ///< per direction: irq+softirq+copy+sched
+  double app_wakeup_us = 30.0;       ///< scheduling the blocked app thread
+  double deep_sleep_wake_us = 140.0; ///< C-state exit on the idle server
+  double jitter_frac = 0.12;         ///< lognormal-ish relative jitter
+};
+
+enum class rpc_stack : std::uint8_t {
+  ndp,            ///< userspace DPDK, polling
+  tfo,            ///< TCP Fast Open: data on SYN, kernel, interrupts
+  tcp,            ///< plain TCP: 3-way handshake first
+};
+
+/// Simulate `n` request/response RPCs and return the latency samples (us).
+[[nodiscard]] sample_set simulate_rpc_latency(sim_env& env, rpc_stack stack,
+                                              bool deep_sleep_enabled,
+                                              std::size_t n,
+                                              const rpc_model_params& params = {});
+
+}  // namespace ndpsim

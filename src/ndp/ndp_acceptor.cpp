@@ -1,0 +1,1 @@
+#include "ndp/ndp_acceptor.h"

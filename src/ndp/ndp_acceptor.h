@@ -1,0 +1,95 @@
+// Zero-RTT listen semantics (paper §3.2.2).
+//
+// NDP has no handshake: data arrives in the first RTT and, because of
+// per-packet multipath, the first packet to arrive is often not the first
+// packet sent.  Every first-RTT packet therefore carries SYN plus its
+// sequence offset, and the listener must be able to establish connection
+// state from whichever of them arrives first.  At-most-once semantics come
+// from time-wait state kept at the receiver: a connection id that recently
+// completed is rejected for the maximum segment lifetime (< 1ms in a
+// datacenter).
+//
+// The acceptor interposes between the network and per-connection sinks: it
+// creates the sink on the first SYN-flagged packet of an unknown connection
+// and then forwards everything for that connection to it.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "net/packet.h"
+#include "net/route.h"
+#include "net/sim_env.h"
+
+namespace ndpsim {
+
+class ndp_acceptor final : public packet_sink {
+ public:
+  /// Creates (or returns) the sink for a new connection id. The factory owns
+  /// the sink's lifetime.
+  using sink_factory = std::function<packet_sink*(std::uint32_t flow_id)>;
+
+  ndp_acceptor(sim_env& env, sink_factory factory,
+               simtime_t max_segment_lifetime = from_ms(1.0))
+      : env_(env), factory_(std::move(factory)), msl_(max_segment_lifetime) {}
+
+  void receive(packet& p) override {
+    auto live = live_.find(p.flow_id);
+    if (live == live_.end()) {
+      if (in_time_wait(p.flow_id)) {
+        // Duplicate of a finished connection: reject (at-most-once).
+        ++duplicates_rejected_;
+        env_.pool.release(&p);
+        return;
+      }
+      if (!p.has_flag(pkt_flag::syn)) {
+        // Not a first-RTT packet and no state: stale packet, drop.
+        ++stale_dropped_;
+        env_.pool.release(&p);
+        return;
+      }
+      packet_sink* sink = factory_(p.flow_id);
+      NDPSIM_ASSERT(sink != nullptr);
+      live = live_.emplace(p.flow_id, sink).first;
+      ++established_;
+    }
+    live->second->receive(p);
+  }
+
+  /// Move a finished connection into time-wait.
+  void close(std::uint32_t flow_id) {
+    live_.erase(flow_id);
+    time_wait_[flow_id] = env_.now() + msl_;
+  }
+
+  [[nodiscard]] std::uint64_t established() const { return established_; }
+  [[nodiscard]] std::uint64_t duplicates_rejected() const {
+    return duplicates_rejected_;
+  }
+  [[nodiscard]] std::uint64_t stale_dropped() const { return stale_dropped_; }
+  [[nodiscard]] bool is_live(std::uint32_t flow_id) const {
+    return live_.count(flow_id) != 0;
+  }
+
+ private:
+  [[nodiscard]] bool in_time_wait(std::uint32_t flow_id) {
+    auto it = time_wait_.find(flow_id);
+    if (it == time_wait_.end()) return false;
+    if (it->second <= env_.now()) {
+      time_wait_.erase(it);  // expired
+      return false;
+    }
+    return true;
+  }
+
+  sim_env& env_;
+  sink_factory factory_;
+  simtime_t msl_;
+  std::unordered_map<std::uint32_t, packet_sink*> live_;
+  std::unordered_map<std::uint32_t, simtime_t> time_wait_;
+  std::uint64_t established_ = 0;
+  std::uint64_t duplicates_rejected_ = 0;
+  std::uint64_t stale_dropped_ = 0;
+};
+
+}  // namespace ndpsim

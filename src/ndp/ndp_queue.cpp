@@ -1,0 +1,115 @@
+#include "ndp/ndp_queue.h"
+
+#include <utility>
+
+#include "net/route.h"
+
+namespace ndpsim {
+
+void ndp_queue::enqueue_arrival(packet& p) {
+  if (p.is_header_class()) {
+    admit_header(p);
+    return;
+  }
+  if (data_bytes_ + p.size_bytes <= cfg_.data_capacity_bytes) {
+    admit_data(p);
+    return;
+  }
+  if (!cfg_.enable_trimming) {
+    drop(p);
+    return;
+  }
+  // Data queue full: trim either the arriving packet or the tail of the data
+  // queue (50/50), so that synchronized senders do not get deterministically
+  // favoured (phase effects, paper §3.1 / Fig 2).
+  packet* victim = &p;
+  const bool trim_tail =
+      cfg_.random_trim_position && !data_.empty() && env_.rand_coin();
+  if (trim_tail) {
+    victim = data_.back();
+    data_.pop_back();
+    data_bytes_ -= victim->size_bytes;
+    admit_data(p);
+  }
+  trim_packet(*victim);
+  count_trim();
+  admit_header(*victim);
+}
+
+void ndp_queue::admit_header(packet& p) {
+  if (hdr_bytes_ + p.size_bytes > cfg_.header_capacity_bytes) {
+    bounce_or_drop(p);
+    return;
+  }
+  hdr_bytes_ += p.size_bytes;
+  p.enqueue_time = env_.now();
+  hdr_.push_back(&p);
+}
+
+void ndp_queue::admit_data(packet& p) {
+  data_bytes_ += p.size_bytes;
+  p.enqueue_time = env_.now();
+  data_.push_back(&p);
+}
+
+void ndp_queue::bounce_or_drop(packet& p) {
+  // Only data headers carry a reverse route and are worth returning; control
+  // packets that find a full header queue are dropped (rare, covered by RTO).
+  const bool can_bounce = cfg_.enable_rts && p.has_flag(pkt_flag::trimmed) &&
+                          !p.has_flag(pkt_flag::bounced) &&
+                          p.reverse_rt != nullptr;
+  if (!can_bounce) {
+    drop(p);
+    return;
+  }
+  // This queue sits at element index (next_hop - 1), an even position 2t.
+  // The reverse route's egress queue at this same switch is queue index
+  // (nq - t), i.e. element 2*(nq - t); see route.h layout.
+  const std::size_t t = p.next_hop / 2;
+  const route& rev = *p.reverse_rt;
+  const std::size_t rev_queue_index = rev.queue_hops() >= t
+                                          ? rev.queue_hops() - t
+                                          : rev.queue_hops();
+  const std::size_t rev_element = 2 * rev_queue_index;
+  NDPSIM_ASSERT_MSG(rev_element < rev.size(), "bounce fell off reverse route");
+  p.rt = &rev;
+  p.reverse_rt = nullptr;  // never bounce twice
+  p.next_hop = static_cast<std::uint32_t>(rev_element);
+  std::swap(p.src, p.dst);
+  p.set_flag(pkt_flag::bounced);
+  count_bounce();
+  send_to_next_hop(p);
+}
+
+packet* ndp_queue::dequeue_next() {
+  const bool have_hdr = !hdr_.empty();
+  const bool have_data = !data_.empty();
+  if (!have_hdr && !have_data) return nullptr;
+
+  bool serve_header;
+  if (!have_data) {
+    serve_header = true;
+  } else if (!have_hdr) {
+    serve_header = false;
+  } else if (hdrs_since_data_ < cfg_.wrr_headers_per_data) {
+    serve_header = true;
+  } else {
+    serve_header = false;
+  }
+
+  packet* p = nullptr;
+  if (serve_header) {
+    p = hdr_.front();
+    hdr_.pop_front();
+    hdr_bytes_ -= p->size_bytes;
+    if (have_data) ++hdrs_since_data_;  // only charge credit under contention
+  } else {
+    p = data_.front();
+    data_.pop_front();
+    data_bytes_ -= p->size_bytes;
+    hdrs_since_data_ = 0;
+  }
+  return p;
+}
+
+}  // namespace ndpsim

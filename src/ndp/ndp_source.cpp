@@ -1,0 +1,304 @@
+#include "ndp/ndp_source.h"
+
+#include <algorithm>
+
+#include "ndp/ndp_sink.h"
+
+namespace ndpsim {
+
+ndp_source::ndp_source(sim_env& env, ndp_source_config cfg,
+                       std::uint32_t flow_id, std::string name)
+    : event_source(env.events, std::move(name)),
+      env_(env),
+      cfg_(cfg),
+      flow_id_(flow_id),
+      payload_per_packet_(cfg.mss_bytes - kHeaderBytes) {
+  NDPSIM_ASSERT(cfg_.mss_bytes > kHeaderBytes);
+  NDPSIM_ASSERT(cfg_.iw_packets >= 1);
+}
+
+void ndp_source::connect(ndp_sink& sink,
+                         std::vector<std::unique_ptr<route>> fwd,
+                         std::vector<std::unique_ptr<route>> rev,
+                         std::uint32_t src_host, std::uint32_t dst_host,
+                         std::uint64_t flow_bytes, simtime_t start,
+                         packet_sink* rx_endpoint) {
+  NDPSIM_ASSERT_MSG(!fwd.empty() && fwd.size() == rev.size(),
+                    "need matching forward/reverse route sets");
+  sink_ = &sink;
+  fwd_routes_ = std::move(fwd);
+  rev_routes_ = std::move(rev);
+  src_host_ = src_host;
+  dst_host_ = dst_host;
+  flow_bytes_ = flow_bytes;
+  total_packets_ =
+      flow_bytes == 0
+          ? kUnbounded
+          : (flow_bytes + payload_per_packet_ - 1) / payload_per_packet_;
+
+  std::vector<const route*> ctrl;
+  ctrl.reserve(rev_routes_.size());
+  packet_sink* rx = rx_endpoint != nullptr ? rx_endpoint
+                                           : static_cast<packet_sink*>(sink_);
+  for (std::size_t i = 0; i < fwd_routes_.size(); ++i) {
+    fwd_routes_[i]->push_back(rx);
+    rev_routes_[i]->push_back(this);
+    fwd_routes_[i]->set_reverse(rev_routes_[i].get());
+    rev_routes_[i]->set_reverse(fwd_routes_[i].get());
+    ctrl.push_back(rev_routes_[i].get());
+  }
+  sink_->bind(std::move(ctrl), dst_host, src_host);
+
+  paths_ = std::make_unique<path_selector>(env_, fwd_routes_.size(), cfg_.mode,
+                                           cfg_.penalty);
+  start_time_ = start;
+  events().schedule_at(*this, start);
+}
+
+void ndp_source::do_next_event() {
+  if (!started_ && env_.now() >= start_time_) {
+    started_ = true;
+    start_flow();
+  }
+  process_rto_heap();
+}
+
+void ndp_source::start_flow() {
+  // Zero-RTT: push the whole initial window at once; the host NIC queue
+  // serializes it at line rate. Every packet carries SYN (§3.2.2).
+  const std::uint64_t n =
+      std::min<std::uint64_t>(cfg_.iw_packets, total_packets_);
+  for (std::uint64_t seq = 1; seq <= n; ++seq) {
+    send_data(seq, /*is_rtx=*/false);
+  }
+  next_new_seq_ = n + 1;
+}
+
+std::uint32_t ndp_source::payload_for(std::uint64_t seqno) const {
+  if (total_packets_ == kUnbounded || seqno < total_packets_) {
+    return payload_per_packet_;
+  }
+  NDPSIM_ASSERT(seqno == total_packets_);
+  const std::uint64_t sent_before = (seqno - 1) * payload_per_packet_;
+  return static_cast<std::uint32_t>(flow_bytes_ - sent_before);
+}
+
+void ndp_source::send_data(std::uint64_t seqno, bool is_rtx) {
+  std::uint16_t path;
+  auto it = outstanding_.find(seqno);
+  if (is_rtx && it != outstanding_.end()) {
+    // The paper always retransmits on a different path.
+    path = paths_->next_avoiding(it->second.last_path);
+  } else {
+    path = paths_->next();
+  }
+
+  packet* p = env_.pool.alloc();
+  p->type = packet_type::ndp_data;
+  p->flow_id = flow_id_;
+  p->src = src_host_;
+  p->dst = dst_host_;
+  p->seqno = seqno;
+  p->payload_bytes = payload_for(seqno);
+  p->size_bytes = p->payload_bytes + kHeaderBytes;
+  p->path_id = path;
+  if (first_window_phase_) p->set_flag(pkt_flag::syn);
+  if (seqno == total_packets_) p->set_flag(pkt_flag::last);
+  if (is_rtx) p->set_flag(pkt_flag::rtx);
+  p->rt = fwd_routes_[path].get();
+  p->reverse_rt = rev_routes_[path].get();
+  p->next_hop = 0;
+
+  sent_info& info = outstanding_[seqno];
+  if (info.first_sent == 0) info.first_sent = env_.now();
+  info.last_tx = env_.now();
+  info.last_path = path;
+  info.epoch += 1;
+  info.state = tx_state::inflight;
+  p->first_sent = info.first_sent;
+
+  arm_rto(seqno, env_.now() + cfg_.rto, info.epoch);
+
+  ++stats_.packets_sent;
+  if (is_rtx) ++stats_.rtx_sent;
+  send_to_next_hop(*p);
+}
+
+void ndp_source::receive(packet& p) {
+  NDPSIM_ASSERT(p.flow_id == flow_id_);
+  switch (p.type) {
+    case packet_type::ndp_ack:
+      handle_ack(p);
+      env_.pool.release(&p);
+      break;
+    case packet_type::ndp_nack:
+      handle_nack(p);
+      env_.pool.release(&p);
+      break;
+    case packet_type::ndp_pull:
+      handle_pull(p);
+      env_.pool.release(&p);
+      break;
+    case packet_type::ndp_data:
+      NDPSIM_ASSERT_MSG(p.has_flag(pkt_flag::bounced),
+                        "source received non-bounced data");
+      handle_bounce(p);
+      env_.pool.release(&p);
+      break;
+    default:
+      NDPSIM_ASSERT_MSG(false, "unexpected packet type at ndp_source");
+  }
+}
+
+void ndp_source::handle_ack(const packet& p) {
+  ++stats_.acks_received;
+  first_window_phase_ = false;
+  paths_->record_ack(p.path_id);
+
+  const std::uint64_t seq = p.seqno;
+  auto it = outstanding_.find(seq);
+  if (it != outstanding_.end()) {
+    if (on_latency_) on_latency_(env_.now() - it->second.first_sent);
+    outstanding_.erase(it);
+  }
+  rtx_pending_.erase(seq);
+
+  if (seq > cum_acked_ && ooo_acked_.find(seq) == ooo_acked_.end()) {
+    if (seq == cum_acked_ + 1) {
+      ++cum_acked_;
+      auto o = ooo_acked_.begin();
+      while (o != ooo_acked_.end() && *o == cum_acked_ + 1) {
+        ++cum_acked_;
+        o = ooo_acked_.erase(o);
+      }
+    } else {
+      ooo_acked_.insert(seq);
+    }
+  }
+  check_complete();
+}
+
+void ndp_source::handle_nack(const packet& p) {
+  ++stats_.nacks_received;
+  first_window_phase_ = false;
+  paths_->record_nack(p.path_id);
+  queue_rtx(p.seqno, tx_state::nacked);
+}
+
+void ndp_source::queue_rtx(std::uint64_t seqno, tx_state why) {
+  auto it = outstanding_.find(seqno);
+  if (it == outstanding_.end()) return;  // already ACKed
+  it->second.state = why;
+  it->second.epoch += 1;
+  rtx_pending_.insert(seqno);
+  // The packet is accounted for (receiver will PULL it); extend the RTO
+  // backstop in case the PULL itself is lost.
+  arm_rto(seqno, env_.now() + 4 * cfg_.rto, it->second.epoch);
+}
+
+void ndp_source::handle_pull(const packet& p) {
+  ++stats_.pulls_received;
+  last_pull_seen_ = env_.now();
+  first_window_phase_ = false;
+  // PULL counters tolerate reordering: a delayed pull arriving after a newer
+  // one pulls nothing extra (§3.2.1).
+  if (p.pullno <= highest_pull_) return;
+  std::uint64_t to_send = p.pullno - highest_pull_;
+  highest_pull_ = p.pullno;
+  while (to_send-- > 0) send_next_from_pull();
+}
+
+void ndp_source::send_next_from_pull() {
+  // Retransmissions first, then new data (§3.2).
+  if (!rtx_pending_.empty()) {
+    const std::uint64_t seq = *rtx_pending_.begin();
+    rtx_pending_.erase(rtx_pending_.begin());
+    auto it = outstanding_.find(seq);
+    if (it != outstanding_.end()) {
+      if (it->second.state == tx_state::nacked) ++stats_.rtx_after_nack;
+      if (it->second.state == tx_state::bounced) ++stats_.rtx_after_bounce;
+      send_data(seq, /*is_rtx=*/true);
+    }
+    return;
+  }
+  if (total_packets_ == kUnbounded || next_new_seq_ <= total_packets_) {
+    send_data(next_new_seq_++, /*is_rtx=*/false);
+  }
+  // Otherwise: nothing left to send; the pull is simply unused.
+}
+
+void ndp_source::handle_bounce(packet& p) {
+  ++stats_.bounces_received;
+  const std::uint64_t seq = p.seqno;
+  paths_->record_loss(p.path_id);
+  auto it = outstanding_.find(seq);
+  if (it == outstanding_.end()) return;  // raced with an ACK of an rtx copy
+
+  // §3.2.4: resend immediately only if (a) we are not expecting more PULLs
+  // (every ACKed/NACKed packet has been matched by a PULL already), or
+  // (b) ACKs dominate NACKs, indicating an asymmetric network where trying a
+  // different path at once is the right call.  Otherwise wait for a PULL,
+  // avoiding an echo of the original incast.
+  const std::int64_t pulls_owed =
+      static_cast<std::int64_t>(stats_.acks_received + stats_.nacks_received) -
+      static_cast<std::int64_t>(stats_.pulls_received);
+  const bool acks_dominate =
+      stats_.acks_received >
+      cfg_.ack_dominance * static_cast<double>(std::max<std::uint64_t>(
+                               stats_.nacks_received, 1));
+  if (pulls_owed <= 0 || acks_dominate) {
+    ++stats_.rtx_after_bounce;
+    send_data(seq, /*is_rtx=*/true);
+  } else {
+    it->second.state = tx_state::bounced;
+    it->second.epoch += 1;
+    rtx_pending_.insert(seq);
+    arm_rto(seq, env_.now() + 4 * cfg_.rto, it->second.epoch);
+  }
+}
+
+void ndp_source::arm_rto(std::uint64_t seqno, simtime_t deadline,
+                         std::uint32_t epoch) {
+  rto_heap_.push(rto_entry{deadline, seqno, epoch});
+  if (rto_armed_for_ < 0 || deadline < rto_armed_for_) {
+    rto_armed_for_ = deadline;
+    events().schedule_at(*this, deadline);
+  }
+}
+
+void ndp_source::process_rto_heap() {
+  while (!rto_heap_.empty() && rto_heap_.top().deadline <= env_.now()) {
+    const rto_entry e = rto_heap_.top();
+    rto_heap_.pop();
+    auto it = outstanding_.find(e.seqno);
+    if (it == outstanding_.end() || it->second.epoch != e.epoch) {
+      continue;  // ACKed or state changed since this entry was armed
+    }
+    if (it->second.state != tx_state::inflight &&
+        last_pull_seen_ >= 0 && env_.now() - last_pull_seen_ <= cfg_.rto) {
+      // NACKed/bounced packet queued for retransmission, and the receiver's
+      // pull clock is visibly running: our turn is coming (large incasts can
+      // queue pulls for many milliseconds). Only a silent pull clock means
+      // the PULL itself was lost.
+      rto_heap_.push(rto_entry{env_.now() + cfg_.rto, e.seqno, e.epoch});
+      continue;
+    }
+    // Genuine timeout: the packet (or its NACK/PULL) vanished — corruption or
+    // failure. Retransmit directly on a different path (§3.2.3).
+    paths_->record_loss(it->second.last_path);
+    rtx_pending_.erase(e.seqno);
+    ++stats_.rtx_after_timeout;
+    send_data(e.seqno, /*is_rtx=*/true);
+  }
+  rto_armed_for_ = rto_heap_.empty() ? -1 : rto_heap_.top().deadline;
+  if (rto_armed_for_ >= 0) events().schedule_at(*this, rto_armed_for_);
+}
+
+void ndp_source::check_complete() {
+  if (complete() && completion_time_ < 0) {
+    completion_time_ = env_.now();
+    if (on_complete_) on_complete_();
+  }
+}
+
+}  // namespace ndpsim

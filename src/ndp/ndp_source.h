@@ -1,0 +1,162 @@
+// NDP sender endpoint (paper §3.2).
+//
+// Zero-RTT start: a full initial window is pushed at line rate, every packet
+// of it carrying SYN plus its offset (so the connection can be established by
+// whichever packet arrives first).  After that the sender only transmits in
+// response to PULLs: retransmissions queued by NACKs first, then new data.
+// Each data packet is sprayed on the next path of a random permutation; a
+// per-path scoreboard temporarily retires underperforming paths (§3.2.3).
+// Return-to-sender headers (§3.2.4) are resent immediately only when no more
+// PULLs are expected or when ACKs dominate NACKs (asymmetric network);
+// otherwise they queue for the next PULL, avoiding an incast echo.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/route.h"
+#include "net/sim_env.h"
+#include "ndp/path_selector.h"
+#include "sim/eventlist.h"
+
+namespace ndpsim {
+
+class ndp_sink;
+
+struct ndp_source_config {
+  std::uint32_t mss_bytes = 9000;  ///< full data packet wire size
+  std::uint32_t iw_packets = 30;   ///< initial window (paper default, §6.2)
+  simtime_t rto = from_ms(1.0);    ///< retransmission timeout backstop
+  path_mode mode = path_mode::permutation;
+  path_penalty_config penalty = {};
+  /// On a bounced header, resend immediately if acks > dominance * nacks.
+  double ack_dominance = 4.0;
+};
+
+struct ndp_source_stats {
+  std::uint64_t packets_sent = 0;  ///< includes retransmissions
+  std::uint64_t rtx_sent = 0;
+  std::uint64_t rtx_after_nack = 0;
+  std::uint64_t rtx_after_bounce = 0;
+  std::uint64_t rtx_after_timeout = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t nacks_received = 0;
+  std::uint64_t pulls_received = 0;
+  std::uint64_t bounces_received = 0;
+};
+
+class ndp_source final : public packet_sink, public event_source {
+ public:
+  ndp_source(sim_env& env, ndp_source_config cfg, std::uint32_t flow_id,
+             std::string name = "ndpsrc");
+
+  /// Wire up a connection. `fwd`/`rev` are endpoint-less route pairs from the
+  /// topology (fwd[i] and rev[i] traverse the same switches); this call
+  /// appends the endpoints, registers reverses, hands control routes to the
+  /// sink and schedules the first-window push at `start`.
+  /// `flow_bytes == 0` means an unbounded flow.
+  /// If `rx_endpoint` is non-null, forward routes terminate there instead of
+  /// at the sink (used to interpose an `ndp_acceptor` for zero-RTT listen
+  /// semantics); the endpoint must eventually hand packets to the sink.
+  void connect(ndp_sink& sink, std::vector<std::unique_ptr<route>> fwd,
+               std::vector<std::unique_ptr<route>> rev, std::uint32_t src_host,
+               std::uint32_t dst_host, std::uint64_t flow_bytes,
+               simtime_t start, packet_sink* rx_endpoint = nullptr);
+
+  void receive(packet& p) override;  // ACK/NACK/PULL/bounced headers
+  void do_next_event() override;     // start push + RTO backstop
+
+  void set_complete_callback(std::function<void()> cb) {
+    on_complete_ = std::move(cb);
+  }
+  /// Per-packet delivery latency samples (first send -> ACK seen), Fig 4.
+  void set_latency_callback(std::function<void(simtime_t)> cb) {
+    on_latency_ = std::move(cb);
+  }
+
+  [[nodiscard]] const ndp_source_stats& stats() const { return stats_; }
+  [[nodiscard]] bool complete() const {
+    return total_packets_ != kUnbounded && cum_acked_ == total_packets_;
+  }
+  [[nodiscard]] simtime_t completion_time() const { return completion_time_; }
+  [[nodiscard]] path_selector& paths() { return *paths_; }
+  [[nodiscard]] std::uint64_t total_packets() const { return total_packets_; }
+  [[nodiscard]] std::uint32_t flow_id() const { return flow_id_; }
+  [[nodiscard]] const ndp_source_config& config() const { return cfg_; }
+
+  static constexpr std::uint64_t kUnbounded = UINT64_MAX;
+
+ private:
+  enum class tx_state : std::uint8_t { inflight, nacked, bounced };
+
+  struct sent_info {
+    simtime_t first_sent = 0;
+    simtime_t last_tx = 0;
+    std::uint16_t last_path = 0;
+    std::uint32_t epoch = 0;  ///< invalidates stale RTO heap entries
+    tx_state state = tx_state::inflight;
+  };
+
+  struct rto_entry {
+    simtime_t deadline;
+    std::uint64_t seqno;
+    std::uint32_t epoch;
+    [[nodiscard]] bool operator<(const rto_entry& o) const {
+      return deadline > o.deadline;  // min-heap
+    }
+  };
+
+  void start_flow();
+  void handle_ack(const packet& p);
+  void handle_nack(const packet& p);
+  void handle_pull(const packet& p);
+  void handle_bounce(packet& p);
+  void send_data(std::uint64_t seqno, bool is_rtx);
+  void send_next_from_pull();
+  void queue_rtx(std::uint64_t seqno, tx_state why);
+  void arm_rto(std::uint64_t seqno, simtime_t deadline, std::uint32_t epoch);
+  void process_rto_heap();
+  [[nodiscard]] std::uint32_t payload_for(std::uint64_t seqno) const;
+  void check_complete();
+
+  sim_env& env_;
+  ndp_source_config cfg_;
+  std::uint32_t flow_id_;
+  std::uint32_t payload_per_packet_;
+
+  ndp_sink* sink_ = nullptr;
+  std::vector<std::unique_ptr<route>> fwd_routes_;
+  std::vector<std::unique_ptr<route>> rev_routes_;
+  std::unique_ptr<path_selector> paths_;
+  std::uint32_t src_host_ = 0;
+  std::uint32_t dst_host_ = 0;
+
+  std::uint64_t flow_bytes_ = 0;
+  std::uint64_t total_packets_ = kUnbounded;
+  std::uint64_t next_new_seq_ = 1;
+  std::uint64_t highest_pull_ = 0;
+  std::uint64_t cum_acked_ = 0;
+  std::set<std::uint64_t> ooo_acked_;
+  std::set<std::uint64_t> rtx_pending_;
+  std::unordered_map<std::uint64_t, sent_info> outstanding_;
+  std::priority_queue<rto_entry> rto_heap_;
+  simtime_t rto_armed_for_ = -1;
+
+  simtime_t start_time_ = 0;
+  bool started_ = false;
+  bool first_window_phase_ = true;
+  simtime_t last_pull_seen_ = -1;
+  simtime_t completion_time_ = -1;
+
+  ndp_source_stats stats_;
+  std::function<void()> on_complete_;
+  std::function<void(simtime_t)> on_latency_;
+};
+
+}  // namespace ndpsim

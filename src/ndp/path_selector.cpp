@@ -1,0 +1,103 @@
+#include "ndp/path_selector.h"
+
+#include <algorithm>
+
+namespace ndpsim {
+
+path_selector::path_selector(sim_env& env, std::size_t n_paths, path_mode mode,
+                             path_penalty_config penalty)
+    : env_(env), mode_(mode), penalty_(penalty), stats_(n_paths) {
+  NDPSIM_ASSERT_MSG(n_paths > 0, "need at least one path");
+  NDPSIM_ASSERT(n_paths <= UINT16_MAX);
+  reshuffle();
+}
+
+std::uint16_t path_selector::next() {
+  switch (mode_) {
+    case path_mode::single:
+      return 0;
+    case path_mode::random_per_packet:
+      return static_cast<std::uint16_t>(env_.rand_below(stats_.size()));
+    case path_mode::permutation:
+      break;
+  }
+  if (cursor_ >= order_.size()) reshuffle();
+  return order_[cursor_++];
+}
+
+std::uint16_t path_selector::next_avoiding(std::uint16_t avoid) {
+  if (stats_.size() == 1) return 0;
+  std::uint16_t p = next();
+  if (p == avoid) p = next();
+  return p;
+}
+
+void path_selector::record_ack(std::uint16_t path) {
+  NDPSIM_ASSERT(path < stats_.size());
+  stats_[path].acks += 1;
+}
+
+void path_selector::record_nack(std::uint16_t path) {
+  NDPSIM_ASSERT(path < stats_.size());
+  stats_[path].nacks += 1;
+}
+
+void path_selector::record_loss(std::uint16_t path) {
+  NDPSIM_ASSERT(path < stats_.size());
+  stats_[path].losses += 1;
+}
+
+bool path_selector::is_excluded(std::uint16_t path) const {
+  NDPSIM_ASSERT(path < stats_.size());
+  return stats_[path].excluded_until > env_.now();
+}
+
+void path_selector::reshuffle() {
+  if (penalty_.enabled) evaluate_penalties();
+  order_.clear();
+  for (std::uint16_t i = 0; i < stats_.size(); ++i) {
+    if (!is_excluded(i)) order_.push_back(i);
+  }
+  if (order_.empty()) {
+    // Everything penalized: fall back to the full set rather than stalling.
+    order_.resize(stats_.size());
+    std::iota(order_.begin(), order_.end(), std::uint16_t{0});
+  }
+  std::shuffle(order_.begin(), order_.end(), env_.rng);
+  cursor_ = 0;
+}
+
+void path_selector::evaluate_penalties() {
+  double total_acks = 0;
+  double total_nacks = 0;
+  double total_losses = 0;
+  for (const auto& s : stats_) {
+    total_acks += s.acks;
+    total_nacks += s.nacks;
+    total_losses += s.losses;
+  }
+  for (auto& s : stats_) {
+    // Compare each path against the rest of the set (leave-one-out), so a
+    // single bad path cannot hide by inflating the global average.
+    const double other_samples = (total_acks - s.acks) + (total_nacks - s.nacks);
+    const double other_frac =
+        other_samples > 0 ? (total_nacks - s.nacks) / other_samples : 0.0;
+    const double samples = s.acks + s.nacks;
+    if (samples >= penalty_.min_samples) {
+      const double frac = s.nacks / samples;
+      if (frac > other_frac * penalty_.nack_factor + penalty_.nack_offset) {
+        s.excluded_until = env_.now() + penalty_.penalty_time;
+      }
+    }
+    const double other_losses =
+        (total_losses - s.losses) / std::max(1.0, double(stats_.size() - 1));
+    if (s.losses > other_losses * penalty_.loss_factor + penalty_.loss_offset) {
+      s.excluded_until = env_.now() + penalty_.penalty_time;
+    }
+    s.acks *= penalty_.decay;
+    s.nacks *= penalty_.decay;
+    s.losses *= penalty_.decay;
+  }
+}
+
+}  // namespace ndpsim

@@ -1,0 +1,90 @@
+#include "ndp/pull_pacer.h"
+
+#include "ndp/ndp_sink.h"
+
+namespace ndpsim {
+
+pull_pacer::pull_pacer(sim_env& env, linkspeed_bps link_rate, std::string name)
+    : event_source(env.events, std::move(name)), env_(env), rate_(link_rate) {
+  NDPSIM_ASSERT(rate_ > 0);
+}
+
+void pull_pacer::enqueue(ndp_sink& sink) {
+  ++sink.pulls_pending_;
+  ++backlog_;
+  if (!sink.in_ring_) {
+    sink.in_ring_ = true;
+    rings_[sink.pull_class()].push_back(&sink);
+  }
+  schedule_if_needed();
+}
+
+void pull_pacer::purge(ndp_sink& sink) {
+  NDPSIM_ASSERT(backlog_ >= sink.pulls_pending_);
+  backlog_ -= sink.pulls_pending_;
+  sink.pulls_pending_ = 0;
+  // Lazy removal: the ring entry is skipped when popped with nothing pending.
+}
+
+bool pull_pacer::any_pending() const { return backlog_ > 0; }
+
+void pull_pacer::schedule_if_needed() {
+  if (scheduled_ || !any_pending()) return;
+  scheduled_ = true;
+  const simtime_t when = std::max(env_.now(), next_send_);
+  events().schedule_at(*this, when);
+}
+
+void pull_pacer::do_next_event() {
+  scheduled_ = false;
+  if (!any_pending()) return;
+  if (env_.now() < next_send_) {
+    // Spurious early wake-up (can happen after a purge); re-arm.
+    scheduled_ = true;
+    events().schedule_at(*this, next_send_);
+    return;
+  }
+  send_one();
+  schedule_if_needed();
+}
+
+void pull_pacer::send_one() {
+  // Strict priority across classes, DRR (quantum = 1 pull) within a class.
+  for (std::size_t cls = kPullClasses; cls-- > 0;) {
+    auto& ring = rings_[cls];
+    while (!ring.empty()) {
+      ndp_sink* sink = ring.front();
+      ring.pop_front();
+      if (sink->pulls_pending_ == 0) {
+        // Purged or re-classed entry: drop it from the ring.
+        sink->in_ring_ = false;
+        continue;
+      }
+      --sink->pulls_pending_;
+      --backlog_;
+      if (sink->pulls_pending_ > 0) {
+        ring.push_back(sink);
+      } else {
+        sink->in_ring_ = false;
+      }
+      sink->issue_pull();
+      ++pulls_sent_;
+      // Pace so the elicited data packets arrive at our link rate. Jitter
+      // (replaying the prototype's imperfect timing, Fig 12) perturbs each
+      // release around an *ideal* schedule: late pulls are followed by
+      // back-to-back catch-up ones, exactly like the real pacer thread, so
+      // the long-run pull rate is conserved (Fig 13's result depends on it).
+      const simtime_t interval =
+          serialization_time(sink->pulled_wire_bytes(), rate_);
+      const simtime_t base =
+          std::max(ideal_next_, env_.now() - 8 * interval);
+      ideal_next_ = base + interval;
+      simtime_t target = ideal_next_;
+      if (jitter_) target = base + jitter_(interval);
+      next_send_ = std::max(env_.now(), target);
+      return;
+    }
+  }
+}
+
+}  // namespace ndpsim

@@ -1,0 +1,1 @@
+#include "net/fifo_queues.h"

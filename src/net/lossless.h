@@ -1,0 +1,101 @@
+// Priority flow control (802.1Qbb style) for lossless-Ethernet experiments.
+//
+// Model: shared-buffer switches account every buffered packet against the
+// ingress port it arrived on, from arrival until it departs the egress queue.
+// When an ingress port's count crosses XOFF the switch sends PAUSE to the
+// upstream transmitter (one link propagation away); when it falls below XON
+// it sends RESUME.  Pausing stops the upstream egress queue at a packet
+// boundary.  This reproduces PFC's head-of-line blocking and pause cascades
+// (the collateral-damage mechanism of Figs 15/19 in the paper).
+//
+// A `pfc_ingress` is placed on routes between the arrival pipe and the egress
+// queue.  It forwards packets immediately (fabric is not the bottleneck) but
+// tags them for buffer accounting; every lossless egress queue gets a depart
+// hook that credits the tagged ingress.
+#pragma once
+
+#include <deque>
+#include <utility>
+
+#include "net/queue.h"
+
+namespace ndpsim {
+
+class pfc_ingress final : public packet_sink, public event_source {
+ public:
+  /// `upstream` is the transmitter across the inbound link (an egress queue of
+  /// the neighbour switch or a host NIC); `pause_delay` the link propagation.
+  pfc_ingress(sim_env& env, queue_base* upstream, simtime_t pause_delay,
+              std::uint64_t xoff_bytes, std::uint64_t xon_bytes,
+              std::string name = "pfc")
+      : event_source(env.events, std::move(name)),
+        upstream_(upstream),
+        pause_delay_(pause_delay),
+        xoff_(xoff_bytes),
+        xon_(xon_bytes) {
+    NDPSIM_ASSERT(xon_ <= xoff_);
+  }
+
+  void receive(packet& p) override {
+    buffered_ += p.size_bytes;
+    NDPSIM_ASSERT_MSG(p.ingress == nullptr, "packet already has PFC context");
+    p.ingress = this;
+    if (!pause_requested_ && buffered_ > xoff_) {
+      pause_requested_ = true;
+      ++pauses_sent_;
+      signal(true);
+    }
+    send_to_next_hop(p);
+  }
+
+  /// Called (via egress depart hooks) when a tagged packet leaves its egress
+  /// queue at this switch.
+  void on_depart(packet& p) {
+    NDPSIM_ASSERT(buffered_ >= p.size_bytes);
+    buffered_ -= p.size_bytes;
+    if (pause_requested_ && buffered_ < xon_) {
+      pause_requested_ = false;
+      signal(false);
+    }
+  }
+
+  void do_next_event() override {
+    NDPSIM_ASSERT(!pending_.empty());
+    while (!pending_.empty() && pending_.front().first <= events().now()) {
+      const bool pause = pending_.front().second;
+      pending_.pop_front();
+      if (upstream_ != nullptr) upstream_->set_paused(pause);
+    }
+    if (!pending_.empty()) events().schedule_at(*this, pending_.front().first);
+  }
+
+  [[nodiscard]] std::uint64_t buffered_bytes() const { return buffered_; }
+  [[nodiscard]] std::uint64_t pauses_sent() const { return pauses_sent_; }
+  [[nodiscard]] bool pause_requested() const { return pause_requested_; }
+
+  /// Depart hook suitable for any lossless egress queue.
+  static void credit_on_depart(packet& p) {
+    if (p.ingress != nullptr) {
+      p.ingress->on_depart(p);
+      p.ingress = nullptr;
+    }
+  }
+
+ private:
+  void signal(bool pause) {
+    const simtime_t due = events().now() + pause_delay_;
+    pending_.emplace_back(due, pause);
+    if (pending_.size() == 1) events().schedule_at(*this, due);
+  }
+
+  queue_base* upstream_;
+  simtime_t pause_delay_;
+  std::uint64_t xoff_;
+  std::uint64_t xon_;
+  std::uint64_t buffered_ = 0;
+  std::uint64_t pauses_sent_ = 0;
+  bool pause_requested_ = false;
+  std::deque<std::pair<simtime_t, bool>> pending_;
+};
+
+}  // namespace ndpsim

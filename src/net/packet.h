@@ -1,0 +1,150 @@
+// Protocol-neutral simulated packet and packet pool.
+//
+// A single flat struct represents every packet type in the simulator (NDP
+// data/ACK/NACK/PULL, TCP segments, DCQCN CNPs, pHost tokens, ...).  Queues
+// and pipes only look at `size_bytes`, priority and the trimmed/control
+// distinction, so they can carry any transport.  Packets are pooled to avoid
+// allocation churn in large simulations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/assert.h"
+#include "sim/time.h"
+
+namespace ndpsim {
+
+class route;
+class pfc_ingress;
+
+/// Simulated wire header size for all protocols; a trimmed NDP packet and all
+/// control packets are exactly this many bytes (paper: 64-byte headers).
+inline constexpr std::uint32_t kHeaderBytes = 64;
+
+enum class packet_type : std::uint8_t {
+  ndp_data,
+  ndp_ack,
+  ndp_nack,
+  ndp_pull,
+  tcp_data,
+  tcp_ack,
+  dcqcn_data,
+  dcqcn_ack,
+  dcqcn_cnp,
+  phost_rts,
+  phost_data,
+  phost_token,
+  phost_ack,
+  cbr_data,
+};
+
+/// True for packet types that ride the high-priority/control queue.
+[[nodiscard]] constexpr bool is_control(packet_type t) {
+  switch (t) {
+    case packet_type::ndp_data:
+    case packet_type::tcp_data:
+    case packet_type::dcqcn_data:
+    case packet_type::phost_data:
+    case packet_type::cbr_data:
+      return false;
+    default:
+      return true;
+  }
+}
+
+/// Packet flag bits.
+namespace pkt_flag {
+inline constexpr std::uint16_t syn = 1u << 0;      ///< first-RTT packet (NDP)
+inline constexpr std::uint16_t last = 1u << 1;     ///< last packet of the flow
+inline constexpr std::uint16_t trimmed = 1u << 2;  ///< payload cut by a switch
+inline constexpr std::uint16_t bounced = 1u << 3;  ///< returned to sender
+inline constexpr std::uint16_t ect = 1u << 4;      ///< ECN-capable transport
+inline constexpr std::uint16_t ce = 1u << 5;       ///< congestion experienced
+inline constexpr std::uint16_t rtx = 1u << 6;      ///< is a retransmission
+inline constexpr std::uint16_t fin = 1u << 7;      ///< TCP fin equivalent
+}  // namespace pkt_flag
+
+struct packet {
+  packet_type type = packet_type::ndp_data;
+  std::uint16_t flags = 0;
+  std::uint8_t priority = 0;  ///< 0 = data/low, 1 = control/high queue
+
+  std::uint32_t flow_id = 0;
+  std::uint32_t src = 0;  ///< host id
+  std::uint32_t dst = 0;  ///< host id
+
+  std::uint32_t size_bytes = 0;     ///< current wire size (after any trim)
+  std::uint32_t payload_bytes = 0;  ///< application bytes carried (0 if trimmed)
+
+  std::uint64_t seqno = 0;   ///< packet index (NDP/pHost/DCQCN) or byte seq (TCP)
+  std::uint64_t ackno = 0;   ///< cumulative ack (TCP) / acked seq (others)
+  std::uint64_t pullno = 0;  ///< NDP pull counter / pHost token count
+  std::uint64_t data_seq = 0;  ///< MPTCP data-level sequence / scratch
+
+  std::uint16_t path_id = 0;  ///< sender's path index (scoreboard bookkeeping)
+
+  const route* rt = nullptr;       ///< forward route being followed
+  const route* reverse_rt = nullptr;  ///< reverse of `rt` (for bounces)
+  std::uint32_t next_hop = 0;      ///< index of next sink in `rt`
+
+  simtime_t first_sent = 0;    ///< time the original copy entered the network
+  simtime_t enqueue_time = 0;  ///< scratch for queue-delay accounting
+  pfc_ingress* ingress = nullptr;  ///< PFC buffer-accounting context
+
+  [[nodiscard]] bool has_flag(std::uint16_t f) const { return (flags & f) != 0; }
+  void set_flag(std::uint16_t f) { flags |= f; }
+  void clear_flag(std::uint16_t f) { flags &= static_cast<std::uint16_t>(~f); }
+  [[nodiscard]] bool is_header_class() const {
+    return is_control(type) || has_flag(pkt_flag::trimmed);
+  }
+};
+
+/// Free-list pool of packets. Not thread-safe (the simulator is single
+/// threaded by design).
+class packet_pool {
+ public:
+  packet_pool() = default;
+  packet_pool(const packet_pool&) = delete;
+  packet_pool& operator=(const packet_pool&) = delete;
+
+  /// Get a value-initialized packet.
+  [[nodiscard]] packet* alloc() {
+    if (free_.empty()) grow();
+    packet* p = free_.back();
+    free_.pop_back();
+    *p = packet{};
+    ++outstanding_;
+    return p;
+  }
+
+  /// Return a packet to the pool.
+  void release(packet* p) {
+    NDPSIM_ASSERT(p != nullptr);
+    NDPSIM_ASSERT_MSG(outstanding_ > 0, "double free of packet");
+    --outstanding_;
+    free_.push_back(p);
+  }
+
+  /// Packets currently alive (for leak detection in tests).
+  [[nodiscard]] std::size_t outstanding() const { return outstanding_; }
+  [[nodiscard]] std::size_t capacity() const { return blocks_.size() * kBlock; }
+
+ private:
+  static constexpr std::size_t kBlock = 1024;
+  void grow() {
+    auto& block = blocks_.emplace_back(std::make_unique<packet[]>(kBlock));
+    free_.reserve(free_.size() + kBlock);
+    for (std::size_t i = 0; i < kBlock; ++i) free_.push_back(&block[i]);
+  }
+
+  std::vector<std::unique_ptr<packet[]>> blocks_;
+  std::vector<packet*> free_;
+  std::size_t outstanding_ = 0;
+};
+
+/// Deliver `p` to the next sink on its route, advancing the hop index.
+void send_to_next_hop(packet& p);
+
+}  // namespace ndpsim

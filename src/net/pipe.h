@@ -1,0 +1,51 @@
+// A pipe models link propagation delay: packets entering come out unchanged
+// `delay` later, in order. Serialization happens in the upstream queue, so a
+// pipe can hold any number of packets in flight.
+#pragma once
+
+#include <deque>
+#include <utility>
+
+#include "net/packet.h"
+#include "net/route.h"
+#include "net/sim_env.h"
+#include "sim/eventlist.h"
+
+namespace ndpsim {
+
+class pipe final : public packet_sink, public event_source {
+ public:
+  pipe(sim_env& env, simtime_t delay, std::string name = "pipe")
+      : event_source(env.events, std::move(name)), delay_(delay) {
+    NDPSIM_ASSERT(delay_ >= 0);
+  }
+
+  [[nodiscard]] simtime_t delay() const { return delay_; }
+
+  void receive(packet& p) override {
+    const simtime_t due = events().now() + delay_;
+    inflight_.emplace_back(due, &p);
+    if (inflight_.size() == 1) events().schedule_at(*this, due);
+  }
+
+  void do_next_event() override {
+    NDPSIM_ASSERT(!inflight_.empty());
+    // Deliver everything due now (multiple packets can share an arrival time).
+    while (!inflight_.empty() && inflight_.front().first <= events().now()) {
+      packet* p = inflight_.front().second;
+      inflight_.pop_front();
+      send_to_next_hop(*p);
+    }
+    if (!inflight_.empty()) {
+      events().schedule_at(*this, inflight_.front().first);
+    }
+  }
+
+  [[nodiscard]] std::size_t in_flight() const { return inflight_.size(); }
+
+ private:
+  simtime_t delay_;
+  std::deque<std::pair<simtime_t, packet*>> inflight_;
+};
+
+}  // namespace ndpsim

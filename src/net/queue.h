@@ -1,0 +1,116 @@
+// Base class for store-and-forward output queues.
+//
+// A queue serializes one packet at a time at its link rate, then hands it to
+// the next hop (normally a pipe).  Subclasses define buffering policy by
+// implementing `enqueue_arrival` (admit / drop / trim / mark) and
+// `dequeue_next` (scheduling discipline across internal sub-queues).
+//
+// Queues support PFC pausing: while paused, the in-flight packet finishes
+// serializing but no new packet starts (pause at packet boundary, as 802.1Qbb
+// does).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/packet.h"
+#include "net/route.h"
+#include "net/sim_env.h"
+#include "sim/eventlist.h"
+
+namespace ndpsim {
+
+/// Per-queue statistics, kept by the base class.
+struct queue_stats {
+  std::uint64_t arrivals = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t trimmed = 0;
+  std::uint64_t bounced = 0;
+  std::uint64_t marked = 0;
+  std::uint64_t bytes_forwarded = 0;
+};
+
+class queue_base : public packet_sink, public event_source {
+  // coexist_queue composes two child queues and drives their (protected)
+  // admission/scheduling hooks directly, without giving them the wire.
+  friend class coexist_queue;
+
+ public:
+  queue_base(sim_env& env, linkspeed_bps rate, std::string name)
+      : event_source(env.events, std::move(name)), env_(env), rate_(rate) {
+    NDPSIM_ASSERT(rate > 0);
+  }
+
+  void receive(packet& p) final {
+    ++stats_.arrivals;
+    enqueue_arrival(p);
+    try_start_service();
+  }
+
+  void do_next_event() final {
+    NDPSIM_ASSERT_MSG(serving_ != nullptr, "queue service event with no packet");
+    packet* p = serving_;
+    serving_ = nullptr;
+    ++stats_.forwarded;
+    stats_.bytes_forwarded += p->size_bytes;
+    if (on_depart_) on_depart_(*p);
+    send_to_next_hop(*p);
+    try_start_service();
+  }
+
+  /// PFC: pause/resume serving (the packet on the wire always completes).
+  void set_paused(bool paused) {
+    paused_ = paused;
+    if (!paused_) try_start_service();
+  }
+  [[nodiscard]] bool paused() const { return paused_; }
+  [[nodiscard]] bool busy() const { return serving_ != nullptr; }
+
+  [[nodiscard]] linkspeed_bps rate() const { return rate_; }
+  [[nodiscard]] const queue_stats& stats() const { return stats_; }
+
+  /// Called just before a packet leaves the queue (PFC buffer accounting).
+  void set_depart_hook(std::function<void(packet&)> hook) {
+    on_depart_ = std::move(hook);
+  }
+
+  /// Bytes currently buffered (excluding the packet being serialized).
+  [[nodiscard]] virtual std::uint64_t buffered_bytes() const = 0;
+  [[nodiscard]] virtual std::size_t buffered_packets() const = 0;
+
+ protected:
+  /// Admit/drop/trim/mark the arriving packet; must either buffer it or
+  /// dispose of it (release to pool / bounce).
+  virtual void enqueue_arrival(packet& p) = 0;
+  /// Pick the next packet to serialize, or nullptr if none.
+  [[nodiscard]] virtual packet* dequeue_next() = 0;
+
+  void try_start_service() {
+    if (serving_ != nullptr || paused_) return;
+    packet* p = dequeue_next();
+    if (p == nullptr) return;
+    serving_ = p;
+    events().schedule_in(*this, serialization_time(p->size_bytes, rate_));
+  }
+
+  void drop(packet& p) {
+    ++stats_.dropped;
+    env_.pool.release(&p);
+  }
+  void count_trim() { ++stats_.trimmed; }
+  void count_bounce() { ++stats_.bounced; }
+  void count_mark() { ++stats_.marked; }
+
+  sim_env& env_;
+
+ private:
+  linkspeed_bps rate_;
+  packet* serving_ = nullptr;
+  bool paused_ = false;
+  queue_stats stats_;
+  std::function<void(packet&)> on_depart_;
+};
+
+}  // namespace ndpsim

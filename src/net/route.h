@@ -1,0 +1,56 @@
+// Source routes: explicit sequences of packet sinks.
+//
+// A route alternates queue and pipe elements and ends at a transport endpoint:
+//   [q0, p0, q1, p1, ..., q_{n-1}, p_{n-1}, endpoint]
+// Queues sit at even indices. Each route may know its reverse (same switches,
+// opposite direction), which lets an NDP switch return a packet to its sender
+// from the middle of the path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/assert.h"
+
+namespace ndpsim {
+
+struct packet;
+
+/// Anything that can receive a packet: queues, pipes, transport endpoints.
+class packet_sink {
+ public:
+  virtual ~packet_sink() = default;
+  virtual void receive(packet& p) = 0;
+};
+
+class route {
+ public:
+  route() = default;
+  explicit route(std::vector<packet_sink*> hops) : hops_(std::move(hops)) {}
+
+  void push_back(packet_sink* s) {
+    NDPSIM_ASSERT(s != nullptr);
+    hops_.push_back(s);
+  }
+
+  [[nodiscard]] packet_sink& at(std::size_t i) const {
+    NDPSIM_ASSERT_MSG(i < hops_.size(), "route hop out of range");
+    return *hops_[i];
+  }
+  [[nodiscard]] std::size_t size() const { return hops_.size(); }
+  [[nodiscard]] bool empty() const { return hops_.empty(); }
+
+  /// Number of queue elements (queues at even indices before the endpoint).
+  [[nodiscard]] std::size_t queue_hops() const { return hops_.size() / 2; }
+
+  /// The reverse route (traverses the same switches back to the source), or
+  /// nullptr if none was registered.
+  [[nodiscard]] const route* reverse() const { return reverse_; }
+  void set_reverse(const route* r) { reverse_ = r; }
+
+ private:
+  std::vector<packet_sink*> hops_;
+  const route* reverse_ = nullptr;
+};
+
+}  // namespace ndpsim

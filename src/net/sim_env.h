@@ -1,0 +1,35 @@
+// Bundle of per-simulation state: the event list, the RNG and the packet
+// pool. One `sim_env` per experiment; passed by reference to all components
+// so nothing in the library is a global.
+#pragma once
+
+#include <random>
+
+#include "net/packet.h"
+#include "sim/eventlist.h"
+
+namespace ndpsim {
+
+struct sim_env {
+  explicit sim_env(std::uint64_t seed = 1) : rng(seed) {}
+
+  event_list events;
+  std::mt19937_64 rng;
+  packet_pool pool;
+
+  [[nodiscard]] simtime_t now() const { return events.now(); }
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] std::uint64_t rand_below(std::uint64_t n) {
+    NDPSIM_ASSERT(n > 0);
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(rng);
+  }
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double rand_unit() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+  }
+  /// Fair coin.
+  [[nodiscard]] bool rand_coin() { return rand_below(2) == 0; }
+};
+
+}  // namespace ndpsim

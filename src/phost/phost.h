@@ -1,0 +1,152 @@
+// pHost (Gao et al., CoNEXT 2015): receiver-driven scheduling over a plain
+// drop-tail fabric with per-packet spraying — the paper's §6.2 "who needs
+// packet trimming?" baseline.
+//
+// Model (faithful to pHost's structure, simplified bookkeeping):
+//  * the sender announces a flow with an RTS carrying its size, and bursts a
+//    "free token" window at line rate in the first RTT;
+//  * the receiver paces tokens at its link rate, round-robin across active
+//    flows; a token carries a cumulative credit plus the lowest sequence the
+//    receiver is still missing (its loss-recovery hint);
+//  * tokens stop being issued for a flow once enough credit is outstanding;
+//    credit is replenished by arrivals or, after `token_timeout`, assumed
+//    lost and re-issued.  Data lost in the fabric (there is no trimming, and
+//    buffers are 8 packets) therefore costs at least a token timeout —
+//    exactly the failure mode the paper contrasts NDP against.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/route.h"
+#include "net/sim_env.h"
+#include "ndp/path_selector.h"
+#include "sim/eventlist.h"
+
+namespace ndpsim {
+
+class phost_sink;
+
+struct phost_config {
+  std::uint32_t mss_bytes = 9000;
+  std::uint32_t free_tokens = 8;  ///< first-RTT line-rate burst (packets)
+  simtime_t token_timeout = from_us(300);
+  std::uint32_t max_outstanding_tokens = 12;
+};
+
+class phost_source final : public packet_sink, public event_source {
+ public:
+  phost_source(sim_env& env, phost_config cfg, std::uint32_t flow_id,
+               std::string name = "phostsrc");
+
+  void connect(phost_sink& sink, std::vector<std::unique_ptr<route>> fwd,
+               std::vector<std::unique_ptr<route>> rev, std::uint32_t src_host,
+               std::uint32_t dst_host, std::uint64_t flow_bytes,
+               simtime_t start);
+
+  void receive(packet& p) override;  // tokens
+  void do_next_event() override;     // start
+
+  [[nodiscard]] std::uint64_t packets_sent() const { return packets_sent_; }
+  [[nodiscard]] std::uint32_t flow_id() const { return flow_id_; }
+
+ private:
+  void send_data(std::uint64_t seqno);
+  [[nodiscard]] std::uint32_t payload_for(std::uint64_t seqno) const;
+
+  sim_env& env_;
+  phost_config cfg_;
+  std::uint32_t flow_id_;
+  phost_sink* sink_ = nullptr;
+  std::vector<std::unique_ptr<route>> fwd_routes_;
+  std::vector<std::unique_ptr<route>> rev_routes_;
+  std::unique_ptr<path_selector> paths_;
+  std::uint32_t src_host_ = 0;
+  std::uint32_t dst_host_ = 0;
+  std::uint64_t flow_bytes_ = 0;
+  std::uint64_t total_packets_ = 0;
+  std::uint64_t next_unsent_ = 1;
+  std::uint64_t credit_used_ = 0;
+  std::uint64_t packets_sent_ = 0;
+  simtime_t start_time_ = 0;
+  bool started_ = false;
+};
+
+/// Per-receiving-host token pacer: round-robin across its active flows.
+class phost_token_pacer final : public event_source {
+ public:
+  phost_token_pacer(sim_env& env, linkspeed_bps rate,
+                    std::string name = "phostpacer");
+
+  void activate(phost_sink& sink);
+  void deactivate(phost_sink& sink);
+  void kick();  ///< re-evaluate after state changes
+
+  void do_next_event() override;
+
+ private:
+  [[nodiscard]] phost_sink* pick_next();
+
+  sim_env& env_;
+  linkspeed_bps rate_;
+  std::deque<phost_sink*> ring_;
+  simtime_t next_send_ = 0;
+  bool scheduled_ = false;
+};
+
+class phost_sink final : public packet_sink {
+ public:
+  phost_sink(sim_env& env, phost_token_pacer& pacer, phost_config cfg,
+             std::uint32_t flow_id);
+
+  void bind(std::vector<const route*> ctrl_routes, std::uint32_t local_host,
+            std::uint32_t remote_host);
+
+  void receive(packet& p) override;  // RTS + data
+
+  void set_complete_callback(std::function<void()> cb) {
+    on_complete_ = std::move(cb);
+  }
+  [[nodiscard]] bool complete() const {
+    return total_packets_ != 0 && received_ == total_packets_;
+  }
+  [[nodiscard]] std::uint64_t payload_received() const { return payload_; }
+  [[nodiscard]] simtime_t completion_time() const { return completion_time_; }
+
+  // pacer interface
+  [[nodiscard]] bool wants_token() const;
+  void issue_token();
+  [[nodiscard]] std::uint32_t token_wire_bytes() const {
+    return cfg_.mss_bytes;
+  }
+
+ private:
+  friend class phost_token_pacer;
+
+  sim_env& env_;
+  phost_token_pacer& pacer_;
+  phost_config cfg_;
+  std::uint32_t flow_id_;
+  std::vector<const route*> ctrl_routes_;
+  std::uint32_t local_host_ = 0;
+  std::uint32_t remote_host_ = 0;
+
+  bool active_ = false;     ///< RTS seen, not complete
+  bool in_ring_ = false;
+  std::uint64_t total_packets_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t cum_ = 0;
+  std::set<std::uint64_t> ooo_;
+  std::uint64_t tokens_granted_ = 0;  ///< cumulative credit sent
+  std::uint64_t payload_ = 0;
+  simtime_t last_arrival_ = 0;
+  simtime_t completion_time_ = -1;
+  std::function<void()> on_complete_;
+};
+
+}  // namespace ndpsim

@@ -1,0 +1,44 @@
+// Always-on invariant checking for the simulator.
+//
+// Simulation bugs manifest as silently wrong results, so invariant checks stay
+// enabled in release builds.  Violations throw `simulation_error` so tests can
+// assert on them; they are never expected in a correct run.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ndpsim {
+
+class simulation_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " (" << msg << ")";
+  throw simulation_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace ndpsim
+
+#define NDPSIM_ASSERT(expr)                                              \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::ndpsim::detail::assert_fail(#expr, __FILE__, __LINE__, {});      \
+  } while (0)
+
+#define NDPSIM_ASSERT_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      std::ostringstream os_;                                            \
+      os_ << msg;                                                        \
+      ::ndpsim::detail::assert_fail(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                    \
+  } while (0)

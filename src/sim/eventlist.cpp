@@ -1,0 +1,2 @@
+// event_list is header-only; this translation unit anchors the library.
+#include "sim/eventlist.h"

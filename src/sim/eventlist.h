@@ -1,0 +1,116 @@
+// Discrete-event simulation kernel: a time-ordered queue of event sources.
+//
+// Usage: components derive from `event_source`, schedule themselves on the
+// shared `event_list`, and get `do_next_event()` callbacks in time order.
+// A source may have several pending events; sources that reschedule must be
+// prepared for wake-ups they no longer need (check their own state).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/assert.h"
+#include "sim/time.h"
+
+namespace ndpsim {
+
+class event_list;
+
+/// Base class for anything that can be scheduled on the event list.
+class event_source {
+ public:
+  event_source(event_list& events, std::string name)
+      : events_(events), name_(std::move(name)) {}
+  virtual ~event_source() = default;
+
+  event_source(const event_source&) = delete;
+  event_source& operator=(const event_source&) = delete;
+
+  /// Called when a scheduled time for this source is reached.
+  virtual void do_next_event() = 0;
+
+  [[nodiscard]] event_list& events() const { return events_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  event_list& events_;
+  std::string name_;
+};
+
+/// Min-heap of pending events; ties broken by insertion order (FIFO).
+class event_list {
+ public:
+  event_list() = default;
+  event_list(const event_list&) = delete;
+  event_list& operator=(const event_list&) = delete;
+
+  [[nodiscard]] simtime_t now() const { return now_; }
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  /// Schedule `src` to run at absolute time `when` (must not be in the past).
+  void schedule_at(event_source& src, simtime_t when) {
+    NDPSIM_ASSERT_MSG(when >= now_, "cannot schedule into the past: " << when
+                                                                      << " < "
+                                                                      << now_);
+    heap_.push(entry{when, seq_++, &src});
+  }
+
+  /// Schedule `src` to run `delta` picoseconds from now.
+  void schedule_in(event_source& src, simtime_t delta) {
+    NDPSIM_ASSERT(delta >= 0);
+    schedule_at(src, now_ + delta);
+  }
+
+  /// Run the single earliest event. Returns false if none are pending.
+  bool run_next_event() {
+    if (heap_.empty()) return false;
+    entry e = heap_.top();
+    heap_.pop();
+    NDPSIM_ASSERT(e.when >= now_);
+    now_ = e.when;
+    ++processed_;
+    e.src->do_next_event();
+    return true;
+  }
+
+  /// Run all events with time <= `horizon`; afterwards now() == horizon.
+  void run_until(simtime_t horizon) {
+    NDPSIM_ASSERT(horizon >= now_);
+    while (!heap_.empty() && heap_.top().when <= horizon) {
+      (void)run_next_event();
+    }
+    now_ = horizon;
+  }
+
+  /// Run until the event list drains (or `max_events` is hit, as a backstop
+  /// against runaway simulations).
+  void run_all(std::uint64_t max_events = UINT64_MAX) {
+    std::uint64_t n = 0;
+    while (run_next_event()) {
+      NDPSIM_ASSERT_MSG(++n <= max_events, "event budget exhausted");
+    }
+  }
+
+ private:
+  struct entry {
+    simtime_t when;
+    std::uint64_t seq;
+    event_source* src;
+    // std::priority_queue is a max-heap; invert for earliest-first.
+    [[nodiscard]] bool operator<(const entry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<entry> heap_;
+  simtime_t now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace ndpsim

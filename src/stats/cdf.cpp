@@ -1,0 +1,59 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "sim/assert.h"
+
+namespace ndpsim {
+
+void sample_set::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double sample_set::quantile(double q) const {
+  NDPSIM_ASSERT(!samples_.empty());
+  NDPSIM_ASSERT(q >= 0.0 && q <= 1.0);
+  ensure_sorted();
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(std::ceil(q * static_cast<double>(samples_.size())),
+                       static_cast<double>(samples_.size())));
+  return samples_[idx == 0 ? 0 : idx - 1];
+}
+
+double sample_set::mean() const {
+  NDPSIM_ASSERT(!samples_.empty());
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double sample_set::mean_lowest(double frac) const {
+  NDPSIM_ASSERT(!samples_.empty());
+  NDPSIM_ASSERT(frac > 0.0 && frac <= 1.0);
+  ensure_sorted();
+  const std::size_t n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(frac * static_cast<double>(samples_.size())));
+  return std::accumulate(samples_.begin(), samples_.begin() + n, 0.0) /
+         static_cast<double>(n);
+}
+
+std::string sample_set::cdf_rows(std::size_t max_rows) const {
+  ensure_sorted();
+  std::ostringstream os;
+  if (samples_.empty()) return {};
+  const std::size_t n = samples_.size();
+  const std::size_t step = std::max<std::size_t>(1, n / max_rows);
+  for (std::size_t i = 0; i < n; i += step) {
+    os << samples_[i] << " "
+       << static_cast<double>(i + 1) / static_cast<double>(n) << "\n";
+  }
+  if ((n - 1) % step != 0) os << samples_[n - 1] << " 1\n";
+  return os.str();
+}
+
+}  // namespace ndpsim

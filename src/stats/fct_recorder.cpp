@@ -1,0 +1,13 @@
+#include "stats/fct_recorder.h"
+
+#include <algorithm>
+
+namespace ndpsim {
+
+double fct_recorder::last_completion_us() const {
+  simtime_t latest = 0;
+  for (const auto& r : done_) latest = std::max(latest, r.end);
+  return to_us(latest);
+}
+
+}  // namespace ndpsim

@@ -1,0 +1,57 @@
+// Flow-completion-time bookkeeping shared by experiments.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/assert.h"
+#include "sim/time.h"
+#include "stats/cdf.h"
+
+namespace ndpsim {
+
+class fct_recorder {
+ public:
+  void flow_started(std::uint32_t flow_id, simtime_t at, std::uint64_t bytes) {
+    NDPSIM_ASSERT_MSG(open_.find(flow_id) == open_.end(),
+                      "flow started twice: " << flow_id);
+    open_[flow_id] = info{at, bytes};
+  }
+
+  void flow_completed(std::uint32_t flow_id, simtime_t at) {
+    auto it = open_.find(flow_id);
+    NDPSIM_ASSERT_MSG(it != open_.end(), "unknown flow completed: " << flow_id);
+    const simtime_t fct = at - it->second.start;
+    NDPSIM_ASSERT(fct >= 0);
+    done_.push_back(record{flow_id, it->second.start, at, it->second.bytes});
+    fct_us_.add(to_us(fct));
+    open_.erase(it);
+  }
+
+  struct record {
+    std::uint32_t flow_id;
+    simtime_t start;
+    simtime_t end;
+    std::uint64_t bytes;
+  };
+
+  [[nodiscard]] std::size_t completed() const { return done_.size(); }
+  [[nodiscard]] std::size_t still_open() const { return open_.size(); }
+  [[nodiscard]] const std::vector<record>& records() const { return done_; }
+  /// All completion times, microseconds.
+  [[nodiscard]] const sample_set& fct_us() const { return fct_us_; }
+  /// Completion time of the last flow to finish, microseconds since t=0.
+  [[nodiscard]] double last_completion_us() const;
+
+ private:
+  struct info {
+    simtime_t start;
+    std::uint64_t bytes;
+  };
+  std::unordered_map<std::uint32_t, info> open_;
+  std::vector<record> done_;
+  sample_set fct_us_;
+};
+
+}  // namespace ndpsim

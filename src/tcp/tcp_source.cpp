@@ -1,0 +1,308 @@
+#include "tcp/tcp_source.h"
+
+#include <algorithm>
+
+#include "tcp/tcp_sink.h"
+
+namespace ndpsim {
+
+tcp_source::tcp_source(sim_env& env, tcp_config cfg, std::uint32_t flow_id,
+                       std::string name)
+    : event_source(env.events, std::move(name)),
+      env_(env),
+      cfg_(cfg),
+      flow_id_(flow_id) {
+  NDPSIM_ASSERT(cfg_.mss_bytes > kHeaderBytes);
+  cwnd_ = static_cast<std::uint64_t>(cfg_.iw_mss) * payload_per_packet();
+  ssthresh_ = static_cast<std::uint64_t>(cfg_.max_cwnd_mss) *
+              payload_per_packet();
+  srtt_ = cfg_.initial_rtt;
+  rttvar_ = cfg_.initial_rtt / 2;
+  rto_ = std::max(cfg_.min_rto, srtt_ + 4 * rttvar_);
+}
+
+tcp_source::~tcp_source() = default;
+
+void tcp_source::connect(tcp_sink& sink, std::unique_ptr<route> fwd,
+                         std::unique_ptr<route> rev, std::uint32_t src_host,
+                         std::uint32_t dst_host, std::uint64_t flow_bytes,
+                         simtime_t start) {
+  sink_ = &sink;
+  fwd_route_ = std::move(fwd);
+  rev_route_ = std::move(rev);
+  fwd_route_->push_back(sink_);
+  rev_route_->push_back(this);
+  fwd_route_->set_reverse(rev_route_.get());
+  rev_route_->set_reverse(fwd_route_.get());
+  sink_->bind(rev_route_.get(), dst_host, src_host);
+  src_host_ = src_host;
+  dst_host_ = dst_host;
+  flow_bytes_ = flow_bytes;
+  remaining_ = flow_bytes == 0 ? UINT64_MAX : flow_bytes;
+  start_time_ = start;
+  events().schedule_at(*this, start);
+}
+
+void tcp_source::do_next_event() {
+  if (!started_ && env_.now() >= start_time_) {
+    started_ = true;
+    start_flow();
+    return;
+  }
+  // Lazy RTO timer: one pending event; reschedule if the deadline moved.
+  rto_event_at_ = -1;
+  if (rto_deadline_ < 0) return;
+  if (env_.now() < rto_deadline_) {
+    rto_event_at_ = rto_deadline_;
+    events().schedule_at(*this, rto_deadline_);
+    return;
+  }
+  rto_deadline_ = -1;
+  if (syn_outstanding_ || snd_una_ < snd_nxt_) {
+    ++stats_.timeouts;
+    enter_slow_start_after_timeout();
+    if (syn_outstanding_) {
+      send_syn();
+    } else {
+      ++stats_.rtx_timeout;
+      retransmit_head();
+      // Treat everything in flight as suspect: recover holes NewReno-style
+      // as cumulative ACKs come back.
+      in_recovery_ = true;
+      recover_ = snd_nxt_;
+    }
+    rto_ = std::min<simtime_t>(2 * rto_, from_sec(1.0));
+    arm_rto();
+  }
+}
+
+void tcp_source::start_flow() {
+  if (cfg_.handshake) {
+    send_syn();
+    arm_rto();
+  } else {
+    established_ = true;
+    try_send();
+  }
+}
+
+void tcp_source::send_syn() {
+  packet* p = env_.pool.alloc();
+  p->type = packet_type::tcp_data;
+  p->flow_id = flow_id_;
+  p->src = src_host_;
+  p->dst = dst_host_;
+  p->size_bytes = kHeaderBytes;
+  p->payload_bytes = 0;
+  p->set_flag(pkt_flag::syn);
+  p->rt = fwd_route_.get();
+  p->next_hop = 0;
+  syn_outstanding_ = true;
+  ++stats_.packets_sent;
+  send_to_next_hop(*p);
+}
+
+void tcp_source::enter_slow_start_after_timeout() {
+  ssthresh_ = std::max<std::uint64_t>(inflight() / 2,
+                                      2 * payload_per_packet());
+  cwnd_ = payload_per_packet();
+  in_recovery_ = false;
+  dup_acks_ = 0;
+}
+
+std::uint32_t tcp_source::claim_payload(std::uint32_t max) {
+  const std::uint32_t n =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(max, remaining_));
+  remaining_ -= n;
+  return n;
+}
+
+void tcp_source::try_send() {
+  if (!established_) return;
+  const std::uint64_t cap =
+      std::min<std::uint64_t>(cwnd_, static_cast<std::uint64_t>(
+                                         cfg_.max_cwnd_mss) *
+                                         payload_per_packet());
+  while (inflight() + payload_per_packet() <= cap ||
+         (inflight() == 0 && cap > 0)) {
+    const std::uint32_t want = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(payload_per_packet(), cap - std::min(cap, inflight())));
+    if (want == 0) break;
+    const std::uint32_t len = claim_payload(want);
+    if (len == 0) break;  // no more data to send
+    send_segment(snd_nxt_, len, /*is_rtx=*/false);
+    snd_nxt_ += len;
+  }
+  arm_rto();
+}
+
+void tcp_source::send_segment(std::uint64_t start, std::uint32_t len,
+                              bool is_rtx) {
+  packet* p = env_.pool.alloc();
+  p->type = packet_type::tcp_data;
+  p->flow_id = flow_id_;
+  p->src = src_host_;
+  p->dst = dst_host_;
+  p->seqno = start;
+  p->payload_bytes = len;
+  p->size_bytes = len + kHeaderBytes;
+  if (cfg_.ecn) p->set_flag(pkt_flag::ect);
+  if (is_rtx) p->set_flag(pkt_flag::rtx);
+  p->rt = fwd_route_.get();
+  p->next_hop = 0;
+
+  auto [it, inserted] = segments_.try_emplace(start);
+  it->second.len = len;
+  it->second.sent = env_.now();
+  it->second.retransmitted = it->second.retransmitted || is_rtx || !inserted;
+
+  ++stats_.packets_sent;
+  send_to_next_hop(*p);
+}
+
+void tcp_source::retransmit_head() {
+  auto it = segments_.find(snd_una_);
+  if (it == segments_.end()) {
+    // Head segment record missing (e.g. SYN loss path); resend a full MSS
+    // worth from snd_una_ if anything is outstanding.
+    if (snd_una_ < snd_nxt_) {
+      const std::uint32_t len = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+          payload_per_packet(), snd_nxt_ - snd_una_));
+      send_segment(snd_una_, len, true);
+    }
+    return;
+  }
+  send_segment(it->first, it->second.len, true);
+}
+
+void tcp_source::receive(packet& p) {
+  NDPSIM_ASSERT(p.type == packet_type::tcp_ack);
+  NDPSIM_ASSERT(p.flow_id == flow_id_);
+  handle_ack(p);
+  env_.pool.release(&p);
+}
+
+void tcp_source::handle_ack(const packet& p) {
+  if (p.has_flag(pkt_flag::syn)) {
+    // SYN-ACK: connection established.
+    if (!established_) {
+      established_ = true;
+      syn_outstanding_ = false;
+      rto_deadline_ = -1;
+      try_send();
+    }
+    return;
+  }
+  const std::uint64_t ack = p.ackno;
+  const bool echo = p.has_flag(pkt_flag::ce);
+
+  if (ack > snd_una_) {
+    const std::uint64_t newly = ack - snd_una_;
+    // RTT sample from the newest fully-acked, never-retransmitted segment.
+    simtime_t sample = -1;
+    auto it = segments_.begin();
+    while (it != segments_.end() && it->first + it->second.len <= ack) {
+      if (!it->second.retransmitted) sample = env_.now() - it->second.sent;
+      it = segments_.erase(it);
+    }
+    if (sample >= 0) update_rtt(sample);
+
+    snd_una_ = ack;
+    dup_acks_ = 0;
+    if (echo) ++stats_.ecn_echoes;
+    if (cfg_.ecn) ecn_feedback(newly, echo);
+    on_bytes_acked(newly);
+
+    if (in_recovery_) {
+      if (ack >= recover_) {
+        in_recovery_ = false;
+        cwnd_ = ssthresh_;
+      } else {
+        // NewReno partial ACK: retransmit the next hole, deflate.
+        retransmit_head();
+        ++stats_.rtx_fast;
+        cwnd_ = cwnd_ > newly ? cwnd_ - newly : payload_per_packet();
+        cwnd_ += payload_per_packet();
+      }
+    } else {
+      increase_window(newly);
+    }
+    try_send();
+    check_complete();
+  } else if (ack == snd_una_ && snd_una_ < snd_nxt_) {
+    if (echo) ++stats_.ecn_echoes;
+    if (cfg_.ecn) ecn_feedback(0, echo);
+    ++dup_acks_;
+    if (!in_recovery_ && dup_acks_ == 3) {
+      ssthresh_ = std::max<std::uint64_t>(inflight() / 2,
+                                          2 * payload_per_packet());
+      in_recovery_ = true;
+      recover_ = snd_nxt_;
+      retransmit_head();
+      ++stats_.rtx_fast;
+      cwnd_ = ssthresh_ + 3 * payload_per_packet();
+    } else if (in_recovery_) {
+      cwnd_ += payload_per_packet();  // window inflation
+      try_send();
+    }
+  }
+  arm_rto();
+}
+
+void tcp_source::increase_window(std::uint64_t newly_acked) {
+  const std::uint32_t mss = payload_per_packet();
+  if (cwnd_ < ssthresh_) {
+    cwnd_ += std::min<std::uint64_t>(newly_acked, mss);  // slow start
+  } else {
+    cwnd_ += std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(mss) * mss / std::max<std::uint64_t>(cwnd_, 1));
+  }
+  cwnd_ = std::min<std::uint64_t>(
+      cwnd_, static_cast<std::uint64_t>(cfg_.max_cwnd_mss) * mss);
+}
+
+void tcp_source::ecn_feedback(std::uint64_t /*newly_acked*/, bool echo) {
+  // Classic ECN: at most one multiplicative cut per RTT.
+  if (!echo) return;
+  if (last_ecn_cut_ >= 0 && env_.now() - last_ecn_cut_ < srtt_) return;
+  last_ecn_cut_ = env_.now();
+  ssthresh_ = std::max<std::uint64_t>(cwnd_ / 2, 2 * payload_per_packet());
+  cwnd_ = ssthresh_;
+}
+
+void tcp_source::on_bytes_acked(std::uint64_t /*newly_acked*/) {}
+
+void tcp_source::update_rtt(simtime_t sample) {
+  if (srtt_ == cfg_.initial_rtt && rttvar_ == cfg_.initial_rtt / 2) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+  } else {
+    const simtime_t err = sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+    rttvar_ = (3 * rttvar_ + err) / 4;
+    srtt_ = (7 * srtt_ + sample) / 8;
+  }
+  rto_ = std::max(cfg_.min_rto, srtt_ + 4 * rttvar_);
+}
+
+void tcp_source::arm_rto() {
+  if (!syn_outstanding_ && snd_una_ >= snd_nxt_) {
+    rto_deadline_ = -1;  // nothing outstanding
+    return;
+  }
+  rto_deadline_ = env_.now() + rto_;
+  if (rto_event_at_ < 0) {
+    rto_event_at_ = rto_deadline_;
+    events().schedule_at(*this, rto_deadline_);
+  }
+}
+
+void tcp_source::check_complete() {
+  if (!completed_ && flow_bytes_ > 0 && snd_una_ >= flow_bytes_) {
+    completed_ = true;
+    completion_time_ = env_.now();
+    rto_deadline_ = -1;
+    if (on_complete_) on_complete_();
+  }
+}
+
+}  // namespace ndpsim

@@ -1,0 +1,181 @@
+#include "topo/fat_tree.h"
+
+#include <string>
+
+namespace ndpsim {
+
+fat_tree::fat_tree(sim_env& env, fat_tree_config cfg,
+                   const queue_factory& make_queue)
+    : env_(env), cfg_(cfg), half_k_(cfg.k / 2) {
+  NDPSIM_ASSERT_MSG(cfg_.k >= 2 && cfg_.k % 2 == 0, "k must be even and >= 2");
+  NDPSIM_ASSERT(cfg_.oversubscription >= 1);
+  hosts_per_tor_ = cfg_.oversubscription * half_k_;
+  n_tor_ = static_cast<std::size_t>(cfg_.k) * half_k_;
+  n_agg_ = n_tor_;
+  n_core_ = static_cast<std::size_t>(half_k_) * half_k_;
+  n_hosts_ = n_tor_ * hosts_per_tor_;
+  by_level_.resize(6);
+
+  // host_up: host h -> its ToR. Ingress (PFC) lives at the ToR.
+  host_up_.reserve(n_hosts_);
+  for (std::size_t h = 0; h < n_hosts_; ++h) {
+    host_up_.push_back(make_link(link_level::host_up, h,
+                                 "hostup" + std::to_string(h), make_queue,
+                                 /*ingress_at_far_end=*/true));
+  }
+  // tor_up: ToR t -> agg (pod(t), j).
+  tor_up_.reserve(n_tor_ * half_k_);
+  for (std::size_t t = 0; t < n_tor_; ++t) {
+    for (unsigned j = 0; j < half_k_; ++j) {
+      tor_up_.push_back(make_link(
+          link_level::tor_up, t * half_k_ + j,
+          "torup" + std::to_string(t) + "." + std::to_string(j), make_queue,
+          true));
+    }
+  }
+  // agg_up: agg (p, j) -> core j*half_k + m.
+  agg_up_.reserve(cfg_.k * half_k_ * half_k_);
+  for (unsigned p = 0; p < cfg_.k; ++p) {
+    for (unsigned j = 0; j < half_k_; ++j) {
+      for (unsigned m = 0; m < half_k_; ++m) {
+        agg_up_.push_back(make_link(
+            link_level::agg_up, agg_up_index(p, j, m),
+            "aggup" + std::to_string(p) + "." + std::to_string(j) + "." +
+                std::to_string(m),
+            make_queue, true));
+      }
+    }
+  }
+  // core_down: core c -> pod p's agg (c / half_k).
+  core_down_.reserve(n_core_ * cfg_.k);
+  for (std::size_t c = 0; c < n_core_; ++c) {
+    for (unsigned p = 0; p < cfg_.k; ++p) {
+      core_down_.push_back(make_link(
+          link_level::core_down, core_down_index(static_cast<unsigned>(c), p),
+          "coredn" + std::to_string(c) + "." + std::to_string(p), make_queue,
+          true));
+    }
+  }
+  // agg_down: agg (p, j) -> ToR i in pod p.
+  agg_down_.reserve(cfg_.k * half_k_ * half_k_);
+  for (unsigned p = 0; p < cfg_.k; ++p) {
+    for (unsigned j = 0; j < half_k_; ++j) {
+      for (unsigned i = 0; i < half_k_; ++i) {
+        agg_down_.push_back(make_link(
+            link_level::agg_down,
+            (static_cast<std::size_t>(p) * half_k_ + j) * half_k_ + i,
+            "aggdn" + std::to_string(p) + "." + std::to_string(j) + "." +
+                std::to_string(i),
+            make_queue, true));
+      }
+    }
+  }
+  // tor_down: ToR t -> host t*hosts_per_tor + l. No PFC ingress at hosts:
+  // endpoints consume at line rate.
+  tor_down_.reserve(n_tor_ * hosts_per_tor_);
+  for (std::size_t t = 0; t < n_tor_; ++t) {
+    for (unsigned l = 0; l < hosts_per_tor_; ++l) {
+      tor_down_.push_back(make_link(
+          link_level::tor_down, t * hosts_per_tor_ + l,
+          "tordn" + std::to_string(t) + "." + std::to_string(l), make_queue,
+          false));
+    }
+  }
+}
+
+fat_tree::link fat_tree::make_link(link_level level, std::size_t index,
+                                   const std::string& name,
+                                   const queue_factory& make_queue,
+                                   bool ingress_at_far_end) {
+  linkspeed_bps speed = cfg_.link_speed;
+  if (cfg_.speed_override) speed = cfg_.speed_override(level, index, speed);
+  link l;
+  l.q = make_queue(level, index, speed, name);
+  NDPSIM_ASSERT(l.q != nullptr);
+  l.p = std::make_unique<pipe>(env_, cfg_.link_delay, name + ".pipe");
+  if (cfg_.pfc.enabled) {
+    l.q->set_depart_hook(&pfc_ingress::credit_on_depart);
+    if (ingress_at_far_end) {
+      l.ingress = std::make_unique<pfc_ingress>(
+          env_, l.q.get(), cfg_.link_delay, cfg_.pfc.xoff_bytes,
+          cfg_.pfc.xon_bytes, name + ".pfc");
+    }
+  }
+  by_level_[static_cast<std::size_t>(level)].push_back(l.q.get());
+  return l;
+}
+
+void fat_tree::append_link(route& r, const link& l) const {
+  r.push_back(l.q.get());
+  r.push_back(l.p.get());
+  if (l.ingress != nullptr) r.push_back(l.ingress.get());
+}
+
+std::size_t fat_tree::n_paths(std::uint32_t src, std::uint32_t dst) const {
+  NDPSIM_ASSERT(src < n_hosts_ && dst < n_hosts_ && src != dst);
+  if (tor_of(src) == tor_of(dst)) return 1;
+  if (pod_of(src) == pod_of(dst)) return half_k_;
+  return n_core_;
+}
+
+route_pair fat_tree::make_route_pair(std::uint32_t src, std::uint32_t dst,
+                                     std::size_t path) {
+  NDPSIM_ASSERT(path < n_paths(src, dst));
+  auto build = [this](std::uint32_t a, std::uint32_t b,
+                      std::size_t path_idx) -> std::unique_ptr<route> {
+    auto r = std::make_unique<route>();
+    const std::uint32_t ta = tor_of(a);
+    const std::uint32_t tb = tor_of(b);
+    const unsigned lb = b % hosts_per_tor_;
+    append_link(*r, host_up_[a]);
+    if (ta == tb) {
+      append_link(*r, tor_down_[static_cast<std::size_t>(tb) * hosts_per_tor_ + lb]);
+      return r;
+    }
+    const unsigned pa = pod_of(a);
+    const unsigned pb = pod_of(b);
+    const unsigned ib = tb % half_k_;
+    if (pa == pb) {
+      const unsigned j = static_cast<unsigned>(path_idx);
+      append_link(*r, tor_up_[static_cast<std::size_t>(ta) * half_k_ + j]);
+      append_link(
+          *r, agg_down_[(static_cast<std::size_t>(pa) * half_k_ + j) * half_k_ + ib]);
+      append_link(*r, tor_down_[static_cast<std::size_t>(tb) * hosts_per_tor_ + lb]);
+      return r;
+    }
+    // Inter-pod: path index selects the core switch; the core determines the
+    // aggregation switch (j = core / half_k) in both pods.
+    const unsigned core = static_cast<unsigned>(path_idx);
+    const unsigned j = core / half_k_;
+    const unsigned m = core % half_k_;
+    append_link(*r, tor_up_[static_cast<std::size_t>(ta) * half_k_ + j]);
+    append_link(*r, agg_up_[agg_up_index(pa, j, m)]);
+    append_link(*r, core_down_[core_down_index(core, pb)]);
+    append_link(
+        *r, agg_down_[(static_cast<std::size_t>(pb) * half_k_ + j) * half_k_ + ib]);
+    append_link(*r, tor_down_[static_cast<std::size_t>(tb) * hosts_per_tor_ + lb]);
+    return r;
+  };
+  return {build(src, dst, path), build(dst, src, path)};
+}
+
+queue_stats fat_tree::aggregate_stats(link_level level) const {
+  queue_stats total;
+  for (const queue_base* q : by_level_[static_cast<std::size_t>(level)]) {
+    const queue_stats& s = q->stats();
+    total.arrivals += s.arrivals;
+    total.forwarded += s.forwarded;
+    total.dropped += s.dropped;
+    total.trimmed += s.trimmed;
+    total.bounced += s.bounced;
+    total.marked += s.marked;
+    total.bytes_forwarded += s.bytes_forwarded;
+  }
+  return total;
+}
+
+const std::vector<queue_base*>& fat_tree::queues_at(link_level level) const {
+  return by_level_[static_cast<std::size_t>(level)];
+}
+
+}  // namespace ndpsim

@@ -1,0 +1,83 @@
+// Topology abstraction: anything that can enumerate multipath source routes
+// between hosts.
+//
+// Routes are endpoint-less (they stop after the final pipe); transports append
+// their endpoints via `connect`.  Forward/reverse pairs with the same path
+// index traverse the same switches in opposite directions, which NDP's
+// return-to-sender relies on.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "net/queue.h"
+#include "net/route.h"
+
+namespace ndpsim {
+
+/// Where a queue sits in the topology (used for per-level statistics, e.g.
+/// counting trims on core uplinks, and for queue-type selection).
+enum class link_level : std::uint8_t {
+  host_up,    ///< host NIC egress
+  tor_up,     ///< ToR -> aggregation
+  agg_up,     ///< aggregation -> core
+  core_down,  ///< core -> aggregation
+  agg_down,   ///< aggregation -> ToR
+  tor_down,   ///< ToR -> host
+};
+
+[[nodiscard]] constexpr const char* to_string(link_level l) {
+  switch (l) {
+    case link_level::host_up: return "host_up";
+    case link_level::tor_up: return "tor_up";
+    case link_level::agg_up: return "agg_up";
+    case link_level::core_down: return "core_down";
+    case link_level::agg_down: return "agg_down";
+    case link_level::tor_down: return "tor_down";
+  }
+  return "?";
+}
+
+/// Builds the egress queue for one directed link.
+using queue_factory =
+    std::function<std::unique_ptr<queue_base>(link_level level,
+                                              std::size_t index,
+                                              linkspeed_bps rate,
+                                              const std::string& name)>;
+
+/// Route pair: {forward, reverse}, both endpoint-less.
+using route_pair = std::pair<std::unique_ptr<route>, std::unique_ptr<route>>;
+
+class topology {
+ public:
+  virtual ~topology() = default;
+
+  [[nodiscard]] virtual std::size_t n_hosts() const = 0;
+  /// Number of distinct paths from `src` to `dst`.
+  [[nodiscard]] virtual std::size_t n_paths(std::uint32_t src,
+                                            std::uint32_t dst) const = 0;
+  /// Build the route pair for one path index in [0, n_paths)).
+  [[nodiscard]] virtual route_pair make_route_pair(std::uint32_t src,
+                                                   std::uint32_t dst,
+                                                   std::size_t path) = 0;
+  [[nodiscard]] virtual linkspeed_bps host_link_speed(
+      std::uint32_t host) const = 0;
+
+  /// Build all (or up to `max_paths`) route pairs for a host pair.
+  void make_routes(std::uint32_t src, std::uint32_t dst,
+                   std::vector<std::unique_ptr<route>>& fwd,
+                   std::vector<std::unique_ptr<route>>& rev,
+                   std::size_t max_paths = 0) {
+    std::size_t n = n_paths(src, dst);
+    if (max_paths != 0 && max_paths < n) n = max_paths;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto [f, r] = make_route_pair(src, dst, i);
+      fwd.push_back(std::move(f));
+      rev.push_back(std::move(r));
+    }
+  }
+};
+
+}  // namespace ndpsim

@@ -1,0 +1,48 @@
+#include "workload/cbr_source.h"
+
+namespace ndpsim {
+
+cbr_source::cbr_source(sim_env& env, linkspeed_bps rate,
+                       std::uint32_t mss_bytes, std::uint32_t flow_id,
+                       double jitter_frac, std::string name)
+    : event_source(env.events, std::move(name)),
+      env_(env),
+      rate_(rate),
+      mss_bytes_(mss_bytes),
+      flow_id_(flow_id),
+      jitter_frac_(jitter_frac) {
+  NDPSIM_ASSERT(rate_ > 0);
+  NDPSIM_ASSERT(mss_bytes_ > kHeaderBytes);
+  NDPSIM_ASSERT(jitter_frac_ >= 0.0 && jitter_frac_ < 1.0);
+}
+
+void cbr_source::start(std::unique_ptr<route> rt, std::uint32_t src,
+                       std::uint32_t dst, simtime_t start_at) {
+  route_ = std::move(rt);
+  src_ = src;
+  dst_ = dst;
+  events().schedule_at(*this, start_at);
+}
+
+void cbr_source::do_next_event() {
+  packet* p = env_.pool.alloc();
+  p->type = packet_type::cbr_data;
+  p->flow_id = flow_id_;
+  p->src = src_;
+  p->dst = dst_;
+  p->seqno = ++seq_;
+  p->size_bytes = mss_bytes_;
+  p->payload_bytes = mss_bytes_ - kHeaderBytes;
+  p->rt = route_.get();
+  p->next_hop = 0;
+  ++sent_;
+  send_to_next_hop(*p);
+  simtime_t period = serialization_time(mss_bytes_, rate_);
+  if (jitter_frac_ > 0.0) {
+    const double noise = (env_.rand_unit() - 0.5) * jitter_frac_;
+    period = static_cast<simtime_t>(static_cast<double>(period) * (1.0 + noise));
+  }
+  events().schedule_in(*this, period);
+}
+
+}  // namespace ndpsim

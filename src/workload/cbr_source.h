@@ -1,0 +1,73 @@
+// Constant-bit-rate unresponsive sender and a counting sink.
+//
+// Used for the Fig 2 experiment ("many unresponsive flows converge on a
+// 10Gb/s link"): CBR sources ignore all feedback, which isolates the switch
+// service model (CP vs NDP queue) from any transport reaction.
+#pragma once
+
+#include <memory>
+
+#include "net/packet.h"
+#include "net/route.h"
+#include "net/sim_env.h"
+#include "sim/eventlist.h"
+
+namespace ndpsim {
+
+/// Terminal sink that counts delivered payload and releases packets
+/// (including trimmed headers, which carry no payload).
+class counting_sink final : public packet_sink {
+ public:
+  explicit counting_sink(sim_env& env) : env_(env) {}
+
+  void receive(packet& p) override {
+    ++packets_;
+    if (p.has_flag(pkt_flag::trimmed)) {
+      ++headers_;
+    } else {
+      payload_ += p.payload_bytes;
+    }
+    env_.pool.release(&p);
+  }
+
+  [[nodiscard]] std::uint64_t payload_bytes() const { return payload_; }
+  [[nodiscard]] std::uint64_t packets() const { return packets_; }
+  [[nodiscard]] std::uint64_t headers() const { return headers_; }
+
+ private:
+  sim_env& env_;
+  std::uint64_t payload_ = 0;
+  std::uint64_t packets_ = 0;
+  std::uint64_t headers_ = 0;
+};
+
+class cbr_source final : public event_source {
+ public:
+  /// `jitter_frac` adds uniform timing noise of +-(jitter/2) x period to each
+  /// send, modelling OS/NIC scheduling variability (keeps mean rate exact).
+  cbr_source(sim_env& env, linkspeed_bps rate, std::uint32_t mss_bytes,
+             std::uint32_t flow_id, double jitter_frac = 0.0,
+             std::string name = "cbr");
+
+  /// Send forever from `start`, at `rate`, over `rt` (endpoint included).
+  void start(std::unique_ptr<route> rt, std::uint32_t src, std::uint32_t dst,
+             simtime_t start_at);
+
+  void do_next_event() override;
+
+  [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
+
+ private:
+  sim_env& env_;
+  linkspeed_bps rate_;
+  std::uint32_t mss_bytes_;
+  std::uint32_t flow_id_;
+  double jitter_frac_;
+  std::unique_ptr<route> route_;
+  std::uint32_t src_ = 0;
+  std::uint32_t dst_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace ndpsim

@@ -1,0 +1,72 @@
+#include "workload/size_distributions.h"
+
+#include <cmath>
+
+#include "sim/assert.h"
+
+namespace ndpsim {
+
+flow_size_distribution::flow_size_distribution(
+    std::vector<std::pair<double, double>> points)
+    : points_(std::move(points)) {
+  NDPSIM_ASSERT(points_.size() >= 1);
+  double prev = 0.0;
+  for (const auto& [p, s] : points_) {
+    NDPSIM_ASSERT_MSG(p > prev && p <= 1.0, "CDF must be increasing to 1");
+    NDPSIM_ASSERT(s >= 1.0);
+    prev = p;
+  }
+  NDPSIM_ASSERT_MSG(points_.back().first == 1.0, "CDF must end at 1");
+}
+
+std::uint64_t flow_size_distribution::sample(std::mt19937_64& rng) const {
+  const double u = std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+  double p0 = 0.0;
+  double s0 = points_.front().second;
+  for (const auto& [p1, s1] : points_) {
+    if (u <= p1) {
+      const double frac = p1 > p0 ? (u - p0) / (p1 - p0) : 1.0;
+      // Interpolate in log-size space (sizes span orders of magnitude).
+      const double ls = std::log(s0) + frac * (std::log(s1) - std::log(s0));
+      return static_cast<std::uint64_t>(std::llround(std::exp(ls)));
+    }
+    p0 = p1;
+    s0 = s1;
+  }
+  return static_cast<std::uint64_t>(points_.back().second);
+}
+
+double flow_size_distribution::mean_bytes() const {
+  // Mean of the piecewise log-linear distribution, by trapezoid on segments.
+  double mean = 0.0;
+  double p0 = 0.0;
+  double s0 = points_.front().second;
+  for (const auto& [p1, s1] : points_) {
+    mean += (p1 - p0) * 0.5 * (s0 + s1);
+    p0 = p1;
+    s0 = s1;
+  }
+  return mean;
+}
+
+const flow_size_distribution& facebook_web_sizes() {
+  static const flow_size_distribution dist({
+      {0.15, 150.0},       // tiny RPCs
+      {0.40, 300.0},
+      {0.60, 700.0},
+      {0.74, 1'500.0},     // around one 1500B MTU
+      {0.84, 4'000.0},
+      {0.91, 10'000.0},
+      {0.95, 40'000.0},
+      {0.975, 200'000.0},
+      {0.99, 2'000'000.0},
+      {1.0, 20'000'000.0},  // heavy tail: the mean is tail-dominated
+  });
+  return dist;
+}
+
+flow_size_distribution fixed_size(std::uint64_t bytes) {
+  return flow_size_distribution({{1.0, static_cast<double>(bytes)}});
+}
+
+}  // namespace ndpsim

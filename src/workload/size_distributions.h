@@ -1,0 +1,40 @@
+// Flow-size distributions.
+//
+// The paper's oversubscribed experiment (Fig 23) draws flow sizes from the
+// "web" workload of Roy et al., "Inside the social network's (datacenter)
+// network" (SIGCOMM 2015, Fig 6a): dominated by sub-MTU flows with a heavy
+// tail — the least favourable case for trimming (poor compression ratio).
+// The original figure is only published as a plot; this is a piecewise
+// approximation of its shape, which is what the experiment needs (lots of
+// tiny flows, occasional multi-MB ones).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+namespace ndpsim {
+
+/// Piecewise-linear (in log-size) inverse-CDF sampler.
+class flow_size_distribution {
+ public:
+  /// points: (cumulative probability, size in bytes), strictly increasing in
+  /// probability, ending at probability 1.
+  explicit flow_size_distribution(
+      std::vector<std::pair<double, double>> points);
+
+  [[nodiscard]] std::uint64_t sample(std::mt19937_64& rng) const;
+  [[nodiscard]] double mean_bytes() const;
+
+ private:
+  std::vector<std::pair<double, double>> points_;
+};
+
+/// Approximation of the Facebook web flow-size CDF (Roy et al. Fig 6a).
+[[nodiscard]] const flow_size_distribution& facebook_web_sizes();
+
+/// Fixed-size "distribution" (degenerate), convenient for tests.
+[[nodiscard]] flow_size_distribution fixed_size(std::uint64_t bytes);
+
+}  // namespace ndpsim

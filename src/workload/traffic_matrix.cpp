@@ -1,0 +1,53 @@
+#include "workload/traffic_matrix.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/assert.h"
+
+namespace ndpsim {
+
+std::vector<std::uint32_t> permutation_matrix(std::mt19937_64& rng,
+                                              std::size_t n_hosts) {
+  NDPSIM_ASSERT(n_hosts >= 2);
+  std::vector<std::uint32_t> perm(n_hosts);
+  std::iota(perm.begin(), perm.end(), 0u);
+  // Sattolo's algorithm yields a uniform cyclic permutation: by construction
+  // no host maps to itself, and in-degree is exactly one everywhere.
+  for (std::size_t i = n_hosts - 1; i > 0; --i) {
+    std::uniform_int_distribution<std::size_t> d(0, i - 1);
+    std::swap(perm[i], perm[d(rng)]);
+  }
+  return perm;
+}
+
+std::vector<std::uint32_t> random_matrix(std::mt19937_64& rng,
+                                         std::size_t n_hosts) {
+  NDPSIM_ASSERT(n_hosts >= 2);
+  std::vector<std::uint32_t> dst(n_hosts);
+  std::uniform_int_distribution<std::uint32_t> d(
+      0, static_cast<std::uint32_t>(n_hosts - 1));
+  for (std::size_t i = 0; i < n_hosts; ++i) {
+    do {
+      dst[i] = d(rng);
+    } while (dst[i] == i);
+  }
+  return dst;
+}
+
+std::vector<std::uint32_t> incast_senders(std::mt19937_64& rng,
+                                          std::size_t n_hosts,
+                                          std::uint32_t receiver,
+                                          std::size_t n_senders) {
+  NDPSIM_ASSERT(n_senders <= n_hosts - 1);
+  std::vector<std::uint32_t> all;
+  all.reserve(n_hosts - 1);
+  for (std::uint32_t h = 0; h < n_hosts; ++h) {
+    if (h != receiver) all.push_back(h);
+  }
+  std::shuffle(all.begin(), all.end(), rng);
+  all.resize(n_senders);
+  return all;
+}
+
+}  // namespace ndpsim

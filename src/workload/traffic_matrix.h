@@ -1,0 +1,27 @@
+// Traffic matrices used throughout the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ndpsim {
+
+/// Permutation: every host sends to exactly one other host and receives from
+/// exactly one (a random derangement) — the paper's worst-case utilization
+/// test.
+[[nodiscard]] std::vector<std::uint32_t> permutation_matrix(
+    std::mt19937_64& rng, std::size_t n_hosts);
+
+/// Random: each host picks an independent uniform destination != itself
+/// (receiver collisions allowed).
+[[nodiscard]] std::vector<std::uint32_t> random_matrix(std::mt19937_64& rng,
+                                                       std::size_t n_hosts);
+
+/// n distinct senders for an incast towards `receiver`.
+[[nodiscard]] std::vector<std::uint32_t> incast_senders(std::mt19937_64& rng,
+                                                        std::size_t n_hosts,
+                                                        std::uint32_t receiver,
+                                                        std::size_t n_senders);
+
+}  // namespace ndpsim

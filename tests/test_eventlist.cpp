@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/eventlist.h"
+#include "sim/time.h"
+
+namespace ndpsim {
+namespace {
+
+class probe : public event_source {
+ public:
+  probe(event_list& el, std::vector<std::pair<int, simtime_t>>* log, int id)
+      : event_source(el, "probe"), log_(log), id_(id) {}
+  void do_next_event() override { log_->emplace_back(id_, events().now()); }
+
+ private:
+  std::vector<std::pair<int, simtime_t>>* log_;
+  int id_;
+};
+
+TEST(time, unit_conversions) {
+  EXPECT_EQ(from_us(1.0), kMicrosecond);
+  EXPECT_EQ(from_ms(2.0), 2 * kMillisecond);
+  EXPECT_DOUBLE_EQ(to_us(from_us(123.0)), 123.0);
+  EXPECT_EQ(gbps(10), 10'000'000'000ull);
+}
+
+TEST(time, serialization_time_9k_at_10g_is_7_2us) {
+  // The paper: a 9KB jumbogram takes 7.2us to serialize at 10Gb/s.
+  EXPECT_EQ(serialization_time(9000, gbps(10)), from_us(7.2));
+}
+
+TEST(time, serialization_time_64b_header) {
+  EXPECT_EQ(serialization_time(64, gbps(10)), from_ns(51.2));
+}
+
+TEST(time, bytes_in_time_inverts_serialization) {
+  const simtime_t t = serialization_time(123456, gbps(10));
+  EXPECT_EQ(bytes_in_time(t, gbps(10)), 123456u);
+}
+
+TEST(eventlist, runs_in_time_order) {
+  event_list el;
+  std::vector<std::pair<int, simtime_t>> log;
+  probe a(el, &log, 1), b(el, &log, 2);
+  el.schedule_at(a, 100);
+  el.schedule_at(b, 50);
+  el.schedule_at(a, 150);
+  el.run_all();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], (std::pair<int, simtime_t>{2, 50}));
+  EXPECT_EQ(log[1], (std::pair<int, simtime_t>{1, 100}));
+  EXPECT_EQ(log[2], (std::pair<int, simtime_t>{1, 150}));
+}
+
+TEST(eventlist, fifo_tiebreak_at_same_time) {
+  event_list el;
+  std::vector<std::pair<int, simtime_t>> log;
+  probe a(el, &log, 1), b(el, &log, 2), c(el, &log, 3);
+  el.schedule_at(b, 10);
+  el.schedule_at(c, 10);
+  el.schedule_at(a, 10);
+  el.run_all();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0].first, 2);
+  EXPECT_EQ(log[1].first, 3);
+  EXPECT_EQ(log[2].first, 1);
+}
+
+TEST(eventlist, run_until_advances_now_even_without_events) {
+  event_list el;
+  el.run_until(from_us(5));
+  EXPECT_EQ(el.now(), from_us(5));
+}
+
+TEST(eventlist, run_until_only_processes_due_events) {
+  event_list el;
+  std::vector<std::pair<int, simtime_t>> log;
+  probe a(el, &log, 1);
+  el.schedule_at(a, 10);
+  el.schedule_at(a, 100);
+  el.run_until(50);
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(el.pending(), 1u);
+  el.run_until(200);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(eventlist, rejects_scheduling_in_the_past) {
+  event_list el;
+  std::vector<std::pair<int, simtime_t>> log;
+  probe a(el, &log, 1);
+  el.run_until(100);
+  EXPECT_THROW(el.schedule_at(a, 50), simulation_error);
+}
+
+TEST(eventlist, schedule_in_is_relative) {
+  event_list el;
+  std::vector<std::pair<int, simtime_t>> log;
+  probe a(el, &log, 1);
+  el.run_until(40);
+  el.schedule_in(a, 10);
+  el.run_all();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].second, 50);
+}
+
+TEST(eventlist, counts_processed_events) {
+  event_list el;
+  std::vector<std::pair<int, simtime_t>> log;
+  probe a(el, &log, 1);
+  el.schedule_at(a, 1);
+  el.schedule_at(a, 2);
+  el.run_all();
+  EXPECT_EQ(el.events_processed(), 2u);
+}
+
+TEST(eventlist, run_all_event_budget_throws) {
+  // A source that reschedules itself forever must trip the budget backstop.
+  event_list el;
+  struct looper : event_source {
+    explicit looper(event_list& e) : event_source(e, "loop") {}
+    void do_next_event() override { events().schedule_in(*this, 1); }
+  } l(el);
+  el.schedule_at(l, 0);
+  EXPECT_THROW(el.run_all(1000), simulation_error);
+}
+
+}  // namespace
+}  // namespace ndpsim

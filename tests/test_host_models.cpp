@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "host/artifacts.h"
+#include "host/rpc_latency_model.h"
+
+namespace ndpsim {
+namespace {
+
+TEST(rpc_latency, ndp_median_matches_paper_fig8) {
+  sim_env env(1);
+  const auto s = simulate_rpc_latency(env, rpc_stack::ndp, true, 5000);
+  // Paper: 62us median for a 1KB RPC over the DPDK NDP stack.
+  EXPECT_NEAR(s.median(), 62.0, 8.0);
+}
+
+TEST(rpc_latency, paper_orderings_hold) {
+  sim_env env(2);
+  const double ndp =
+      simulate_rpc_latency(env, rpc_stack::ndp, true, 3000).median();
+  const double tfo_ns =
+      simulate_rpc_latency(env, rpc_stack::tfo, false, 3000).median();
+  const double tcp_ns =
+      simulate_rpc_latency(env, rpc_stack::tcp, false, 3000).median();
+  const double tfo = simulate_rpc_latency(env, rpc_stack::tfo, true, 3000).median();
+  const double tcp = simulate_rpc_latency(env, rpc_stack::tcp, true, 3000).median();
+  // Fig 8 orderings: NDP < TFO(no sleep) < TCP(no sleep) < TFO < TCP.
+  EXPECT_LT(ndp, tfo_ns);
+  EXPECT_LT(tfo_ns, tcp_ns);
+  EXPECT_LT(tcp_ns, tfo);
+  EXPECT_LT(tfo, tcp);
+  // "TFO takes four times longer and regular TCP five times longer".
+  EXPECT_NEAR(tfo / ndp, 4.0, 1.2);
+  EXPECT_NEAR(tcp / ndp, 5.0, 1.5);
+  // With sleep disabled, "NDP's latency is still just over half that of TFO
+  // and a third that of TCP".
+  EXPECT_NEAR(tfo_ns / ndp, 2.0, 0.6);
+  EXPECT_NEAR(tcp_ns / ndp, 3.0, 0.9);
+}
+
+TEST(rpc_latency, deep_sleep_only_hurts_interrupt_stacks) {
+  sim_env env(3);
+  const double ndp_sleep =
+      simulate_rpc_latency(env, rpc_stack::ndp, true, 2000).median();
+  const double ndp_nosleep =
+      simulate_rpc_latency(env, rpc_stack::ndp, false, 2000).median();
+  EXPECT_NEAR(ndp_sleep, ndp_nosleep, 4.0);  // polling core never sleeps
+}
+
+TEST(pull_jitter, median_stays_on_target) {
+  sim_env env(4);
+  auto j9000 = make_pull_jitter(env, 9000);
+  auto j1500 = make_pull_jitter(env, 1500);
+  sample_set s9, s1;
+  for (int i = 0; i < 20000; ++i) {
+    s9.add(to_us(j9000(from_us(7.2))));
+    s1.add(to_us(j1500(from_us(1.2))));
+  }
+  // Fig 12: medians match the target spacing for both packet sizes.
+  EXPECT_NEAR(s9.median(), 7.2, 0.4);
+  EXPECT_NEAR(s1.median(), 1.2, 0.25);
+}
+
+TEST(pull_jitter, small_packets_have_heavier_variance) {
+  sim_env env(5);
+  auto j9000 = make_pull_jitter(env, 9000);
+  auto j1500 = make_pull_jitter(env, 1500);
+  sample_set s9, s1;
+  for (int i = 0; i < 20000; ++i) {
+    s9.add(to_us(j9000(from_us(7.2))) / 7.2);
+    s1.add(to_us(j1500(from_us(1.2))) / 1.2);
+  }
+  // Normalized 99th percentile: 1500B tail is several times the target;
+  // 9000B stays tight (paper Fig 12's contrast).
+  EXPECT_GT(s1.quantile(0.99), 2.5);
+  EXPECT_LT(s9.quantile(0.99), 1.6);
+  // And some 1500B gaps come early (back-to-back release).
+  EXPECT_LT(s1.quantile(0.05), 0.75);
+}
+
+TEST(host_delay, default_covers_ten_packets_at_10g) {
+  host_delay_model m;
+  // 10 extra 9K packets at 10G = 72us RTT = 36us per direction (§6, Fig 11:
+  // prototype needs IW 25 where the simulator needs 15).
+  EXPECT_EQ(m.per_direction, from_us(36));
+}
+
+}  // namespace
+}  // namespace ndpsim

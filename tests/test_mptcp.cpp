@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "mptcp/mptcp_source.h"
+#include "net/fifo_queues.h"
+#include "topo/micro_topo.h"
+
+namespace ndpsim {
+namespace {
+
+queue_factory droptail_factory(sim_env& env, std::uint32_t pkts = 100) {
+  return [&env, pkts](link_level level, std::size_t, linkspeed_bps rate,
+                      const std::string& name) -> std::unique_ptr<queue_base> {
+    if (level == link_level::host_up) {
+      // Finite NIC: windowed senders must see their own backlog as loss.
+      return std::make_unique<host_priority_queue>(env, rate, name,
+                                                   200 * 9000ull);
+    }
+    return std::make_unique<drop_tail_queue>(env, rate, pkts * 9000ull, name);
+  };
+}
+
+std::unique_ptr<mptcp_source> make_mptcp(sim_env& env, topology& topo,
+                                         std::uint32_t s, std::uint32_t d,
+                                         std::uint64_t bytes,
+                                         std::size_t n_subflows,
+                                         tcp_config cfg = {}) {
+  cfg.handshake = false;
+  auto m = std::make_unique<mptcp_source>(env, cfg, 1);
+  std::vector<std::unique_ptr<route>> fwd, rev;
+  const std::size_t n = topo.n_paths(s, d);
+  for (std::size_t i = 0; i < n_subflows; ++i) {
+    auto [f, r] = topo.make_route_pair(s, d, i % n);
+    fwd.push_back(std::move(f));
+    rev.push_back(std::move(r));
+  }
+  m->connect(std::move(fwd), std::move(rev), s, d, bytes, 0);
+  return m;
+}
+
+TEST(mptcp, completes_finite_flow_across_subflows) {
+  sim_env env;
+  leaf_spine ls(env, 2, 4, 1, gbps(10), from_us(1), droptail_factory(env));
+  auto m = make_mptcp(env, ls, 0, 1, 400 * 8936, 4);
+  env.events.run_until(from_sec(1));
+  EXPECT_TRUE(m->complete());
+  EXPECT_EQ(m->total_payload_received(), 400u * 8936);
+  // All subflows contributed (striped allocation).
+  for (std::size_t i = 0; i < m->n_subflows(); ++i) {
+    EXPECT_GT(m->subflow(i).stats().packets_sent, 0u);
+  }
+}
+
+TEST(mptcp, aggregates_multiple_paths_beyond_one_subflow) {
+  // 4 spines of 10G between two hosts... single host pair is NIC-limited, so
+  // instead check that 4 subflows on 4 paths fill the single 10G NIC just
+  // like TCP would, while spreading load over spines.
+  sim_env env;
+  leaf_spine ls(env, 2, 4, 1, gbps(10), from_us(1), droptail_factory(env));
+  auto m = make_mptcp(env, ls, 0, 1, 0, 4);
+  env.events.run_until(from_ms(5));
+  const std::uint64_t base = m->total_payload_received();
+  env.events.run_until(from_ms(15));
+  const double gb = static_cast<double>(m->total_payload_received() - base) *
+                    8 / to_sec(from_ms(10)) / 1e9;
+  EXPECT_GT(gb, 8.5);
+}
+
+TEST(mptcp, coupled_increase_is_subcapacity_fair_to_tcp) {
+  // An MPTCP connection with 2 subflows sharing one bottleneck with a plain
+  // TCP flow should take about half the link (not two thirds, as two
+  // uncoupled TCP flows would).
+  sim_env env(11);
+  single_switch star(env, 3, gbps(10), from_us(10), droptail_factory(env, 50));
+  tcp_config sub_cfg;
+  sub_cfg.min_rto = from_ms(5);  // loss recovery must not dominate fairness
+  auto m = make_mptcp(env, star, 0, 2, 0, 2, sub_cfg);
+  tcp_config cfg;
+  cfg.handshake = false;
+  cfg.min_rto = from_ms(5);
+  tcp_source tcp(env, cfg, 99);
+  tcp_sink tsink(env, 99);
+  auto [f, r] = star.make_route_pair(1, 2, 0);
+  tcp.connect(tsink, std::move(f), std::move(r), 1, 2, 0, 0);
+
+  env.events.run_until(from_ms(50));
+  const std::uint64_t mb = m->total_payload_received();
+  const std::uint64_t tb = tsink.payload_received();
+  env.events.run_until(from_ms(550));
+  const double mshare = static_cast<double>(m->total_payload_received() - mb);
+  const double tshare = static_cast<double>(tsink.payload_received() - tb);
+  const double frac = mshare / (mshare + tshare);
+  // LIA should keep MPTCP's aggregate near the TCP flow's share. Allow a
+  // generous band: the key assertion is "clearly below 2 uncoupled flows'
+  // 2/3 share".
+  EXPECT_LT(frac, 0.62);
+  EXPECT_GT(frac, 0.30);
+}
+
+TEST(mptcp, subflow_ids_are_distinct) {
+  sim_env env;
+  leaf_spine ls(env, 2, 2, 1, gbps(10), from_us(1), droptail_factory(env));
+  auto m = make_mptcp(env, ls, 0, 1, 10 * 8936, 2);
+  env.events.run_until(from_ms(10));
+  EXPECT_NE(m->subflow(0).flow_id(), m->subflow(1).flow_id());
+}
+
+}  // namespace
+}  // namespace ndpsim

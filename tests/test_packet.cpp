@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "net/route.h"
+#include "net/sim_env.h"
+#include "test_util.h"
+
+namespace ndpsim {
+namespace {
+
+TEST(packet_pool, alloc_returns_value_initialized) {
+  packet_pool pool;
+  packet* p = pool.alloc();
+  p->seqno = 42;
+  p->flags = 0xff;
+  pool.release(p);
+  packet* q = pool.alloc();
+  EXPECT_EQ(q->seqno, 0u);
+  EXPECT_EQ(q->flags, 0u);
+  pool.release(q);
+}
+
+TEST(packet_pool, tracks_outstanding) {
+  packet_pool pool;
+  EXPECT_EQ(pool.outstanding(), 0u);
+  packet* a = pool.alloc();
+  packet* b = pool.alloc();
+  EXPECT_EQ(pool.outstanding(), 2u);
+  pool.release(a);
+  EXPECT_EQ(pool.outstanding(), 1u);
+  pool.release(b);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(packet_pool, double_free_throws) {
+  packet_pool pool;
+  packet* a = pool.alloc();
+  pool.release(a);
+  EXPECT_THROW(pool.release(a), simulation_error);
+}
+
+TEST(packet_pool, grows_beyond_one_block) {
+  packet_pool pool;
+  std::vector<packet*> ps;
+  for (int i = 0; i < 3000; ++i) ps.push_back(pool.alloc());
+  EXPECT_GE(pool.capacity(), 3000u);
+  for (packet* p : ps) pool.release(p);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(packet, flag_helpers) {
+  packet p;
+  EXPECT_FALSE(p.has_flag(pkt_flag::syn));
+  p.set_flag(pkt_flag::syn);
+  p.set_flag(pkt_flag::last);
+  EXPECT_TRUE(p.has_flag(pkt_flag::syn));
+  EXPECT_TRUE(p.has_flag(pkt_flag::last));
+  p.clear_flag(pkt_flag::syn);
+  EXPECT_FALSE(p.has_flag(pkt_flag::syn));
+  EXPECT_TRUE(p.has_flag(pkt_flag::last));
+}
+
+TEST(packet, header_class_classification) {
+  packet p;
+  p.type = packet_type::ndp_data;
+  EXPECT_FALSE(p.is_header_class());
+  p.set_flag(pkt_flag::trimmed);
+  EXPECT_TRUE(p.is_header_class());  // trimmed data rides the header queue
+  packet a;
+  a.type = packet_type::ndp_ack;
+  EXPECT_TRUE(a.is_header_class());
+  packet t;
+  t.type = packet_type::tcp_data;
+  EXPECT_FALSE(t.is_header_class());
+  packet k;
+  k.type = packet_type::tcp_ack;
+  EXPECT_TRUE(k.is_header_class());
+}
+
+TEST(packet, control_type_classification) {
+  EXPECT_FALSE(is_control(packet_type::ndp_data));
+  EXPECT_FALSE(is_control(packet_type::cbr_data));
+  EXPECT_FALSE(is_control(packet_type::phost_data));
+  EXPECT_TRUE(is_control(packet_type::ndp_pull));
+  EXPECT_TRUE(is_control(packet_type::dcqcn_cnp));
+  EXPECT_TRUE(is_control(packet_type::phost_token));
+}
+
+TEST(packet, send_to_next_hop_walks_route) {
+  sim_env env;
+  testing::recording_sink s1(env), s2(env);
+  route r;
+  r.push_back(&s1);
+  packet* p = testing::make_data(env, &r);
+  send_to_next_hop(*p);
+  EXPECT_EQ(s1.count(), 1u);
+  EXPECT_EQ(s2.count(), 0u);
+  EXPECT_EQ(env.pool.outstanding(), 0u);
+}
+
+TEST(packet, running_off_route_throws) {
+  sim_env env;
+  route r;  // empty
+  packet* p = testing::make_data(env, &r);
+  EXPECT_THROW(send_to_next_hop(*p), simulation_error);
+  env.pool.release(p);
+}
+
+TEST(route, reverse_registration) {
+  route f, r;
+  f.set_reverse(&r);
+  r.set_reverse(&f);
+  EXPECT_EQ(f.reverse(), &r);
+  EXPECT_EQ(r.reverse(), &f);
+}
+
+TEST(route, queue_hops_counts_pairs) {
+  sim_env env;
+  testing::recording_sink end(env);
+  route r;
+  // [q, p, q, p, endpoint] -> 2 queue hops
+  testing::recording_sink a(env), b(env), c(env), d(env);
+  r.push_back(&a);
+  r.push_back(&b);
+  r.push_back(&c);
+  r.push_back(&d);
+  r.push_back(&end);
+  EXPECT_EQ(r.queue_hops(), 2u);
+}
+
+}  // namespace
+}  // namespace ndpsim

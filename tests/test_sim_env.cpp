@@ -1,0 +1,56 @@
+#include <gtest/gtest.h>
+
+#include "net/sim_env.h"
+
+namespace ndpsim {
+namespace {
+
+TEST(sim_env, rand_below_is_in_range) {
+  sim_env env(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(env.rand_below(7), 7u);
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(env.rand_below(1), 0u);
+}
+
+TEST(sim_env, rand_unit_in_half_open_interval) {
+  sim_env env(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = env.rand_unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(sim_env, coin_is_roughly_fair) {
+  sim_env env(3);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += env.rand_coin() ? 1 : 0;
+  EXPECT_NEAR(heads, 5000, 300);
+}
+
+TEST(sim_env, seeded_runs_are_reproducible) {
+  sim_env a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.rand_below(1000), b.rand_below(1000));
+  }
+}
+
+TEST(sim_env, different_seeds_diverge) {
+  sim_env a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.rand_below(1000) == b.rand_below(1000) ? 1 : 0;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(sim_env, now_tracks_event_list) {
+  sim_env env;
+  EXPECT_EQ(env.now(), 0);
+  env.events.run_until(from_us(12));
+  EXPECT_EQ(env.now(), from_us(12));
+}
+
+}  // namespace
+}  // namespace ndpsim

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "net/fifo_queues.h"
+#include "stats/cdf.h"
+#include "stats/fct_recorder.h"
+#include "stats/rate_sampler.h"
+#include "test_util.h"
+
+namespace ndpsim {
+namespace {
+
+TEST(sample_set, quantiles_nearest_rank) {
+  sample_set s;
+  for (int i = 10; i >= 1; --i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.9), 9.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.5);
+}
+
+TEST(sample_set, mean_lowest_fraction) {
+  sample_set s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  // Worst 10% = values 1..10, mean 5.5 (the paper's "worst 10%" metric).
+  EXPECT_DOUBLE_EQ(s.mean_lowest(0.10), 5.5);
+}
+
+TEST(sample_set, add_after_quantile_resorts) {
+  sample_set s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(1.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(sample_set, cdf_rows_end_at_one) {
+  sample_set s;
+  for (int i = 0; i < 200; ++i) s.add(i);
+  const std::string rows = s.cdf_rows(10);
+  EXPECT_NE(rows.find(" 1\n"), std::string::npos);
+}
+
+TEST(sample_set, empty_quantile_throws) {
+  sample_set s;
+  EXPECT_THROW(s.median(), simulation_error);
+}
+
+TEST(fct_recorder, records_durations) {
+  fct_recorder rec;
+  rec.flow_started(1, from_us(10), 1000);
+  rec.flow_started(2, from_us(10), 1000);
+  rec.flow_completed(1, from_us(110));
+  rec.flow_completed(2, from_us(210));
+  EXPECT_EQ(rec.completed(), 2u);
+  EXPECT_EQ(rec.still_open(), 0u);
+  EXPECT_DOUBLE_EQ(rec.fct_us().min(), 100.0);
+  EXPECT_DOUBLE_EQ(rec.fct_us().max(), 200.0);
+  EXPECT_DOUBLE_EQ(rec.last_completion_us(), 210.0);
+}
+
+TEST(fct_recorder, double_start_throws) {
+  fct_recorder rec;
+  rec.flow_started(1, 0, 1);
+  EXPECT_THROW(rec.flow_started(1, 0, 1), simulation_error);
+}
+
+TEST(fct_recorder, unknown_completion_throws) {
+  fct_recorder rec;
+  EXPECT_THROW(rec.flow_completed(7, 0), simulation_error);
+}
+
+TEST(rate_sampler, measures_queue_drain_rate) {
+  sim_env env;
+  testing::recording_sink sink(env);
+  drop_tail_queue q(env, gbps(10), 1000 * 9000);
+  route r;
+  r.push_back(&q);
+  r.push_back(&sink);
+
+  std::uint64_t delivered = 0;
+  rate_sampler sampler(
+      env, [&q] { return q.stats().bytes_forwarded; }, from_us(100));
+  (void)delivered;
+  sampler.start(0);
+
+  // Saturate the 10G queue for 1ms.
+  for (std::uint64_t i = 0; i < 138; ++i) {
+    send_to_next_hop(*testing::make_data(env, &r, 9000, i + 1));
+  }
+  env.events.run_until(from_ms(1));
+  ASSERT_GE(sampler.samples().size(), 5u);
+  // Mid-experiment samples should be ~10Gb/s.
+  const double mid = sampler.samples()[2].rate_bps;
+  EXPECT_NEAR(mid, 10e9, 0.5e9);
+}
+
+TEST(rate_sampler, overall_rate) {
+  sim_env env;
+  std::uint64_t counter = 0;
+  rate_sampler sampler(env, [&counter] { return counter; }, from_us(10));
+  sampler.start(0);
+  // Manually bump the counter between polls via an auxiliary event source.
+  struct bumper : event_source {
+    std::uint64_t* c;
+    bumper(event_list& el, std::uint64_t* cc) : event_source(el, "b"), c(cc) {}
+    void do_next_event() override {
+      *c += 1250;  // 1250 bytes per 10us = 1Gb/s
+      events().schedule_in(*this, from_us(10));
+    }
+  } b(env.events, &counter);
+  env.events.schedule_at(b, 0);
+  env.events.run_until(from_ms(1));
+  EXPECT_NEAR(sampler.overall_rate_bps(), 1e9, 0.1e9);
+}
+
+}  // namespace
+}  // namespace ndpsim

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "net/fifo_queues.h"
+#include "topo/fat_tree.h"
+#include "topo/micro_topo.h"
+#include "test_util.h"
+
+namespace ndpsim {
+namespace {
+
+queue_factory droptail_factory(sim_env& env) {
+  return [&env](link_level, std::size_t, linkspeed_bps rate,
+                const std::string& name) -> std::unique_ptr<queue_base> {
+    return std::make_unique<drop_tail_queue>(env, rate, 100 * 9000, name);
+  };
+}
+
+fat_tree_config ft_cfg(unsigned k, unsigned oversub = 1) {
+  fat_tree_config c;
+  c.k = k;
+  c.oversubscription = oversub;
+  return c;
+}
+
+TEST(fat_tree, host_and_switch_counts) {
+  sim_env env;
+  fat_tree ft(env, ft_cfg(4), droptail_factory(env));
+  EXPECT_EQ(ft.n_hosts(), 16u);  // k^3/4
+  EXPECT_EQ(ft.n_tors(), 8u);
+  EXPECT_EQ(ft.n_aggs(), 8u);
+  EXPECT_EQ(ft.n_cores(), 4u);
+}
+
+TEST(fat_tree, paper_topology_sizes) {
+  // k=8 -> 128 hosts; k=12 -> 432 hosts (the paper's main simulation size).
+  sim_env env;
+  fat_tree ft8(env, ft_cfg(8), droptail_factory(env));
+  EXPECT_EQ(ft8.n_hosts(), 128u);
+  fat_tree ft12(env, ft_cfg(12), droptail_factory(env));
+  EXPECT_EQ(ft12.n_hosts(), 432u);
+}
+
+TEST(fat_tree, oversubscription_multiplies_hosts) {
+  sim_env env;
+  fat_tree ft(env, ft_cfg(8, 4), droptail_factory(env));
+  EXPECT_EQ(ft.n_hosts(), 512u);  // the paper's Fig 23 fabric
+  EXPECT_EQ(ft.hosts_per_tor(), 16u);
+}
+
+TEST(fat_tree, path_counts_by_locality) {
+  sim_env env;
+  fat_tree ft(env, ft_cfg(8), droptail_factory(env));
+  // Same ToR (hosts 0 and 1): one path.
+  EXPECT_EQ(ft.n_paths(0, 1), 1u);
+  // Same pod, different ToR: k/2 = 4 paths.
+  EXPECT_EQ(ft.n_paths(0, 4), 4u);
+  // Different pods: (k/2)^2 = 16 paths.
+  EXPECT_EQ(ft.n_paths(0, 127), 16u);
+}
+
+TEST(fat_tree, interpod_route_has_six_queues) {
+  sim_env env;
+  fat_tree ft(env, ft_cfg(4), droptail_factory(env));
+  auto [fwd, rev] = ft.make_route_pair(0, 15, 0);
+  // host_up, tor_up, agg_up, core_down, agg_down, tor_down = 6 queue+pipe
+  // pairs, no endpoint yet.
+  EXPECT_EQ(fwd->size(), 12u);
+  EXPECT_EQ(fwd->queue_hops(), 6u);
+  EXPECT_EQ(rev->size(), 12u);
+}
+
+TEST(fat_tree, same_tor_route_has_two_queues) {
+  sim_env env;
+  fat_tree ft(env, ft_cfg(4), droptail_factory(env));
+  auto [fwd, rev] = ft.make_route_pair(0, 1, 0);
+  EXPECT_EQ(fwd->queue_hops(), 2u);
+}
+
+TEST(fat_tree, distinct_paths_use_distinct_cores) {
+  sim_env env;
+  fat_tree ft(env, ft_cfg(4), droptail_factory(env));
+  // Collect the core_down queue pointer (element index 6) for every path.
+  std::set<const packet_sink*> cores;
+  for (std::size_t p = 0; p < ft.n_paths(0, 15); ++p) {
+    auto [fwd, rev] = ft.make_route_pair(0, 15, p);
+    cores.insert(&fwd->at(6));
+  }
+  EXPECT_EQ(cores.size(), 4u);  // (k/2)^2 distinct cores
+}
+
+TEST(fat_tree, forward_and_reverse_traverse_same_switches) {
+  sim_env env;
+  fat_tree ft(env, ft_cfg(4), droptail_factory(env));
+  // Deliver a packet along fwd and then along rev; both must work and end
+  // at the appended endpoints.
+  testing::recording_sink dst(env), src(env);
+  auto [fwd, rev] = ft.make_route_pair(2, 13, 3);
+  fwd->push_back(&dst);
+  rev->push_back(&src);
+  packet* a = testing::make_data(env, fwd.get());
+  send_to_next_hop(*a);
+  packet* b = testing::make_data(env, rev.get());
+  send_to_next_hop(*b);
+  env.events.run_all();
+  EXPECT_EQ(dst.count(), 1u);
+  EXPECT_EQ(src.count(), 1u);
+}
+
+TEST(fat_tree, delivery_latency_matches_store_and_forward_math) {
+  sim_env env;
+  fat_tree_config cfg = ft_cfg(4);
+  cfg.link_delay = from_us(1);
+  fat_tree ft(env, cfg, droptail_factory(env));
+  testing::recording_sink dst(env);
+  auto [fwd, rev] = ft.make_route_pair(0, 15, 0);
+  fwd->push_back(&dst);
+  packet* p = testing::make_data(env, fwd.get(), 9000);
+  send_to_next_hop(*p);
+  env.events.run_all();
+  // 6 hops x (7.2us serialization + 1us propagation) = 49.2us.
+  ASSERT_EQ(dst.count(), 1u);
+  EXPECT_EQ(dst.arrivals()[0].at, from_us(49.2));
+}
+
+TEST(fat_tree, speed_override_degrades_one_link) {
+  sim_env env;
+  fat_tree_config cfg = ft_cfg(4);
+  cfg.speed_override = [](link_level level, std::size_t index,
+                          linkspeed_bps def) -> linkspeed_bps {
+    if (level == link_level::agg_up && index == 0) return gbps(1);
+    return def;
+  };
+  fat_tree ft(env, cfg, [&env](link_level, std::size_t, linkspeed_bps rate,
+                               const std::string& name) {
+    return std::unique_ptr<queue_base>(
+        std::make_unique<drop_tail_queue>(env, rate, 100 * 9000, name));
+  });
+  const auto& agg_up = ft.queues_at(link_level::agg_up);
+  EXPECT_EQ(agg_up[0]->rate(), gbps(1));
+  EXPECT_EQ(agg_up[1]->rate(), gbps(10));
+}
+
+TEST(fat_tree, aggregate_stats_sum_over_level) {
+  sim_env env;
+  fat_tree ft(env, ft_cfg(4), droptail_factory(env));
+  testing::recording_sink dst(env);
+  auto [fwd, rev] = ft.make_route_pair(0, 15, 0);
+  fwd->push_back(&dst);
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    send_to_next_hop(*testing::make_data(env, fwd.get(), 9000, i));
+  }
+  env.events.run_all();
+  EXPECT_EQ(ft.aggregate_stats(link_level::host_up).forwarded, 3u);
+  EXPECT_EQ(ft.aggregate_stats(link_level::agg_up).forwarded, 3u);
+  EXPECT_EQ(ft.aggregate_stats(link_level::tor_down).forwarded, 3u);
+}
+
+TEST(fat_tree, pfc_mode_inserts_ingress_elements) {
+  sim_env env;
+  fat_tree_config cfg = ft_cfg(4);
+  cfg.pfc.enabled = true;
+  fat_tree ft(env, cfg, droptail_factory(env));
+  auto [fwd, rev] = ft.make_route_pair(0, 15, 0);
+  // 6 queue+pipe pairs + 5 pfc ingress elements (none at the final host).
+  EXPECT_EQ(fwd->size(), 17u);
+  // Route still delivers end to end.
+  testing::recording_sink dst(env);
+  fwd->push_back(&dst);
+  send_to_next_hop(*testing::make_data(env, fwd.get()));
+  env.events.run_all();
+  EXPECT_EQ(dst.count(), 1u);
+}
+
+TEST(back_to_back, single_nic_route) {
+  sim_env env;
+  back_to_back b2b(env, gbps(10), from_us(1), droptail_factory(env));
+  EXPECT_EQ(b2b.n_hosts(), 2u);
+  EXPECT_EQ(b2b.n_paths(0, 1), 1u);
+  auto [fwd, rev] = b2b.make_route_pair(0, 1, 0);
+  testing::recording_sink dst(env);
+  fwd->push_back(&dst);
+  send_to_next_hop(*testing::make_data(env, fwd.get()));
+  env.events.run_all();
+  ASSERT_EQ(dst.count(), 1u);
+  EXPECT_EQ(dst.arrivals()[0].at, from_us(8.2));  // 7.2 serialize + 1 wire
+}
+
+TEST(single_switch, routes_through_target_port) {
+  sim_env env;
+  single_switch star(env, 5, gbps(10), from_us(1), droptail_factory(env));
+  EXPECT_EQ(star.n_hosts(), 5u);
+  auto [fwd, rev] = star.make_route_pair(0, 4, 0);
+  EXPECT_EQ(fwd->queue_hops(), 2u);
+  // The contended port object is shared between routes to the same host.
+  auto [fwd2, rev2] = star.make_route_pair(1, 4, 0);
+  EXPECT_EQ(&fwd->at(2), &fwd2->at(2));
+  EXPECT_EQ(&fwd->at(2), static_cast<packet_sink*>(&star.switch_port(4)));
+}
+
+TEST(leaf_spine, paper_testbed_shape) {
+  sim_env env;
+  // 8 servers, four-port switches: 4 leaves x 2 hosts, 2 spines (Fig 9).
+  leaf_spine ls(env, 4, 2, 2, gbps(10), from_us(1), droptail_factory(env));
+  EXPECT_EQ(ls.n_hosts(), 8u);
+  EXPECT_EQ(ls.n_paths(0, 2), 2u);  // via either spine
+  EXPECT_EQ(ls.n_paths(0, 1), 1u);  // same leaf
+  auto [fwd, rev] = ls.make_route_pair(0, 7, 1);
+  EXPECT_EQ(fwd->queue_hops(), 4u);
+  testing::recording_sink dst(env);
+  fwd->push_back(&dst);
+  send_to_next_hop(*testing::make_data(env, fwd.get()));
+  env.events.run_all();
+  EXPECT_EQ(dst.count(), 1u);
+}
+
+TEST(leaf_spine, same_leaf_skips_spine) {
+  sim_env env;
+  leaf_spine ls(env, 4, 2, 2, gbps(10), from_us(1), droptail_factory(env));
+  auto [fwd, rev] = ls.make_route_pair(0, 1, 0);
+  EXPECT_EQ(fwd->queue_hops(), 2u);
+}
+
+}  // namespace
+}  // namespace ndpsim
