@@ -1,0 +1,473 @@
+// Event-core performance benchmark: tracks simulator events/sec from PR to
+// PR (written to BENCH_eventcore.json at the repo root by scripts/bench.sh).
+//
+// Three sections:
+//  1. Scheduler microbenchmark — the new indexed min-heap with cancellable
+//     handles vs an embedded replica of the pre-change scheduler (a
+//     std::priority_queue where a moved timer leaves a dead entry behind and
+//     every dead entry costs a spurious wake-up).  The workload is the
+//     simulator's dominant timer pattern: an RTO deadline pushed out on every
+//     ACK, i.e. far more reschedules than genuine expirations.
+//  2. Representative figure runs — a small NDP incast and a permutation
+//     sweep, reporting end-to-end events/sec of the full simulator.
+//  3. Parallel sweep — the same incast at several seeds, run serially and
+//     through parallel_runner, checking bitwise-identical per-config FCT
+//     results and reporting the wall-clock ratio.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "harness/experiments.h"
+#include "harness/parallel_runner.h"
+#include "sim/eventlist.h"
+
+namespace ndpsim {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// --------------------------------------------------------------------------
+// Section 1: scheduler microbenchmark.
+// --------------------------------------------------------------------------
+
+// Replica of the scheduler this PR replaced (a verbatim structural copy of
+// the seed's event_list), kept as the baseline so the speedup is measured
+// against the same workload in the same binary.  The old API had no
+// cancel/reschedule: the documented idiom was "schedule another event and be
+// prepared for wake-ups you no longer need", so a moved RTO leaves a dead
+// entry that still gets popped and dispatched as a spurious wake-up.
+class legacy_source {
+ public:
+  virtual ~legacy_source() = default;
+  virtual void do_next_event() = 0;
+};
+
+class legacy_event_list {
+ public:
+  void schedule(legacy_source& src, simtime_t when) {
+    heap_.push(entry{when, seq_++, &src});
+  }
+  [[nodiscard]] simtime_t now() const { return now_; }
+  [[nodiscard]] std::size_t pending() const { return heap_.size(); }
+
+  void run_until(simtime_t horizon) {
+    while (!heap_.empty() && heap_.top().when <= horizon) {
+      const entry e = heap_.top();
+      heap_.pop();
+      now_ = e.when;
+      e.src->do_next_event();
+    }
+    now_ = horizon;
+  }
+
+ private:
+  struct entry {
+    simtime_t when;
+    std::uint64_t seq;
+    legacy_source* src;
+    [[nodiscard]] bool operator<(const entry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+  std::priority_queue<entry> heap_;
+  simtime_t now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+/// do_next_event target for the new-scheduler microbench: counts fires.
+class counting_source final : public event_source {
+ public:
+  explicit counting_source(event_list& el) : event_source(el, "flow") {}
+  void do_next_event() override { ++fires; }
+  std::uint64_t fires = 0;
+  timer_handle rto;
+};
+
+// The simulator's dominant timer pattern, at the paper's rates: each flow's
+// RTO backstop moves on every ACK.  A 9KB jumbogram at 10Gb/s means one ACK
+// per flow every ~7.2us while the RTO sits 1ms out — so a deadline is moved
+// ~139 times before it could ever fire.  With 512 concurrent flows the
+// global inter-ACK gap is ~14ns of virtual time.
+struct churn_params {
+  std::size_t flows = 512;
+  std::uint64_t acks = 2'000'000;   ///< reschedules (one per simulated ACK)
+  simtime_t rto = from_ms(1.0);     ///< deadline distance
+  simtime_t tick = from_ns(14);     ///< virtual time advanced per ACK
+};
+
+/// xorshift so both sides see the same flow sequence with zero RNG overhead.
+struct tiny_rng {
+  std::uint64_t s = 0x9E3779B97F4A7C15ull;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+};
+
+/// RTO churn on the new scheduler: one handle per flow, moved in place.
+double churn_new(const churn_params& p, std::uint64_t* fires_out) {
+  event_list el;
+  std::deque<counting_source> flows;  // deque: event_source is pinned in place
+  for (std::size_t i = 0; i < p.flows; ++i) flows.emplace_back(el);
+  tiny_rng rng;
+  const auto t0 = std::chrono::steady_clock::now();
+  simtime_t vnow = 0;
+  for (std::uint64_t op = 0; op < p.acks; ++op) {
+    vnow += p.tick;
+    el.run_until(vnow);
+    counting_source& f = flows[rng.next() % p.flows];
+    el.reschedule(f.rto, f, vnow + p.rto);
+  }
+  el.run_until(vnow + p.rto + 1);
+  const double dt = seconds_since(t0);
+  std::uint64_t fires = 0;
+  for (const auto& f : flows) fires += f.fires;
+  *fires_out = fires;
+  return dt;
+}
+
+/// The same ACK sequence on the legacy scheduler: every move pushes a fresh
+/// entry; superseded entries fire as spurious wake-ups the source must
+/// detect itself ("check your own state" — the old contract).
+double churn_legacy(const churn_params& p, std::uint64_t* fires_out,
+                    std::uint64_t* spurious_out) {
+  legacy_event_list el;
+  struct legacy_flow final : legacy_source {
+    legacy_event_list* el = nullptr;
+    std::uint64_t* spurious = nullptr;
+    simtime_t deadline = -1;
+    std::uint64_t fires = 0;
+    void do_next_event() override {
+      if (el->now() == deadline) {
+        ++fires;
+      } else {
+        ++*spurious;  // deadline moved since this entry was armed
+      }
+    }
+  };
+  std::uint64_t spurious = 0;
+  std::vector<legacy_flow> flows(p.flows);
+  for (auto& f : flows) {
+    f.el = &el;
+    f.spurious = &spurious;
+  }
+  tiny_rng rng;
+  const auto t0 = std::chrono::steady_clock::now();
+  simtime_t vnow = 0;
+  for (std::uint64_t op = 0; op < p.acks; ++op) {
+    vnow += p.tick;
+    el.run_until(vnow);
+    legacy_flow& f = flows[rng.next() % p.flows];
+    f.deadline = vnow + p.rto;
+    el.schedule(f, f.deadline);
+  }
+  el.run_until(vnow + p.rto + 1);
+  const double dt = seconds_since(t0);
+  std::uint64_t fires = 0;
+  for (const auto& f : flows) fires += f.fires;
+  *fires_out = fires;
+  *spurious_out = spurious;
+  return dt;
+}
+
+/// Self-rescheduling tick sources (pipe/pacer-style FIFO traffic): measures
+/// raw dispatch + heap throughput with no cancellations.
+double ticks_new(std::size_t sources, std::uint64_t total_events) {
+  event_list el;
+  struct tick_source final : event_source {
+    tick_source(event_list& el, simtime_t period)
+        : event_source(el, "tick"), period_(period) {}
+    void do_next_event() override {
+      timer_ = events().schedule_in(*this, period_);
+    }
+    simtime_t period_;
+    timer_handle timer_;
+  };
+  std::deque<tick_source> srcs;  // deque: event_source is pinned in place
+  for (std::size_t i = 0; i < sources; ++i) {
+    // Coprime-ish periods plus a shared one: a mix of unique timestamps and
+    // same-timestamp bursts, like synchronized incast arrivals.
+    srcs.emplace_back(el, from_ns(100 + 10 * (i % 16)));
+    el.schedule_at(srcs.back(), from_ns(100));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  std::uint64_t n = 0;
+  while (n < total_events) n += el.run_next_batch();
+  return seconds_since(t0);
+}
+
+double ticks_legacy(std::size_t sources, std::uint64_t total_events) {
+  legacy_event_list el;
+  struct tick_source final : legacy_source {
+    legacy_event_list* el = nullptr;
+    simtime_t period = 0;
+    std::uint64_t* count = nullptr;
+    void do_next_event() override {
+      ++*count;
+      el->schedule(*this, el->now() + period);
+    }
+  };
+  std::uint64_t n = 0;
+  std::vector<tick_source> srcs(sources);
+  for (std::size_t i = 0; i < sources; ++i) {
+    srcs[i].el = &el;
+    srcs[i].period = from_ns(100 + 10 * (i % 16));
+    srcs[i].count = &n;
+    el.schedule(srcs[i], from_ns(100));
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  while (n < total_events) el.run_until(el.now() + from_us(1));
+  return seconds_since(t0);
+}
+
+// --------------------------------------------------------------------------
+// Sections 2 + 3: figure-level runs and the parallel sweep.
+// --------------------------------------------------------------------------
+
+struct figure_stats {
+  std::string name;
+  std::uint64_t events = 0;
+  double wall_seconds = 0;
+  double events_per_sec = 0;
+  std::size_t completed = 0;
+};
+
+void incast_body(const experiment_config& cfg, sim_env& env,
+                 fct_recorder& fcts) {
+  fabric_params fp;
+  fp.proto = protocol::ndp;
+  fat_tree_config tc;
+  tc.k = 4;
+  testbed bed(env, tc, fp);  // one sim_env per job, owned by the runner
+  std::vector<std::uint32_t> senders;
+  for (std::uint32_t h = 1; h < bed.topo->n_hosts(); ++h) senders.push_back(h);
+  flow_options o;
+  const std::uint64_t bytes = 270'000 + 9'000 * static_cast<std::uint64_t>(
+                                            cfg.param);
+  const auto res = run_incast(bed, protocol::ndp, senders, 0, bytes, o,
+                              from_ms(200));
+  (void)res;
+  for (const auto& f : bed.flows->flows()) {
+    fcts.flow_started(f->id, f->start_time, f->bytes);
+    if (f->complete()) fcts.flow_completed(f->id, f->completion_time());
+  }
+}
+
+figure_stats run_incast_figure() {
+  figure_stats st;
+  st.name = "incast_ndp_k4_15to1";
+  const auto t0 = std::chrono::steady_clock::now();
+  experiment_config cfg{.name = st.name, .seed = 42, .param = 0};
+  sim_env env(cfg.seed);
+  fct_recorder fcts;
+  incast_body(cfg, env, fcts);
+  st.events = env.events.events_processed();
+  st.wall_seconds = seconds_since(t0);
+  st.events_per_sec =
+      st.wall_seconds > 0 ? static_cast<double>(st.events) / st.wall_seconds
+                          : 0;
+  st.completed = fcts.completed();
+  return st;
+}
+
+figure_stats run_permutation_figure() {
+  figure_stats st;
+  st.name = "permutation_ndp_k4";
+  const auto t0 = std::chrono::steady_clock::now();
+  fabric_params fp;
+  fp.proto = protocol::ndp;
+  auto bed = make_fat_tree_testbed(7, 4, fp);
+  flow_options o;
+  const auto res = run_permutation(*bed, protocol::ndp, o, from_ms(1),
+                                   from_ms(4));
+  (void)res;
+  st.events = bed->env.events.events_processed();
+  st.wall_seconds = seconds_since(t0);
+  st.events_per_sec =
+      st.wall_seconds > 0 ? static_cast<double>(st.events) / st.wall_seconds
+                          : 0;
+  st.completed = bed->topo->n_hosts();
+  return st;
+}
+
+/// Exact (bitwise) comparison of two sweeps' per-config FCT records.
+bool outcomes_identical(const std::vector<experiment_outcome>& a,
+                        const std::vector<experiment_outcome>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& ra = a[i].fcts.records();
+    const auto& rb = b[i].fcts.records();
+    if (ra.size() != rb.size()) return false;
+    for (std::size_t j = 0; j < ra.size(); ++j) {
+      if (ra[j].flow_id != rb[j].flow_id || ra[j].start != rb[j].start ||
+          ra[j].end != rb[j].end || ra[j].bytes != rb[j].bytes) {
+        return false;
+      }
+    }
+    if (a[i].events_processed != b[i].events_processed ||
+        a[i].sim_end != b[i].sim_end) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+}  // namespace ndpsim
+
+int main(int argc, char** argv) {
+  using namespace ndpsim;
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_eventcore.json";
+
+  // ---- Section 1: scheduler microbenchmark.
+  churn_params cp;
+  std::uint64_t new_fires = 0;
+  std::uint64_t legacy_fires = 0;
+  std::uint64_t legacy_spurious = 0;
+  // Warm, then measure (one warm round is enough at these sizes).
+  {
+    churn_params warm = cp;
+    warm.acks = 100'000;
+    std::uint64_t tmp = 0;
+    (void)churn_new(warm, &tmp);
+    (void)churn_legacy(warm, &tmp, &legacy_spurious);
+  }
+  const double t_new = churn_new(cp, &new_fires);
+  const double t_legacy = churn_legacy(cp, &legacy_fires, &legacy_spurious);
+  const double churn_new_ops = static_cast<double>(cp.acks) / t_new;
+  const double churn_legacy_ops = static_cast<double>(cp.acks) / t_legacy;
+  std::printf("timer churn (%zu flows, %llu acks):\n", cp.flows,
+              static_cast<unsigned long long>(cp.acks));
+  std::printf("  new    : %.2fs  %.1fM timer-ops/s  (%llu genuine fires)\n",
+              t_new, churn_new_ops / 1e6,
+              static_cast<unsigned long long>(new_fires));
+  std::printf(
+      "  legacy : %.2fs  %.1fM timer-ops/s  (%llu genuine, %llu spurious)\n",
+      t_legacy, churn_legacy_ops / 1e6,
+      static_cast<unsigned long long>(legacy_fires),
+      static_cast<unsigned long long>(legacy_spurious));
+  std::printf("  speedup: %.2fx\n\n", t_legacy / t_new);
+
+  const std::uint64_t tick_events = 4'000'000;
+  const double tick_new_s = ticks_new(4096, tick_events);
+  const double tick_legacy_s = ticks_legacy(4096, tick_events);
+  const double tick_new_eps = static_cast<double>(tick_events) / tick_new_s;
+  const double tick_legacy_eps =
+      static_cast<double>(tick_events) / tick_legacy_s;
+  std::printf("tick dispatch (4096 sources, %lluM events):\n",
+              static_cast<unsigned long long>(tick_events / 1'000'000));
+  std::printf("  new    : %.2fs  %.1fM events/s\n", tick_new_s,
+              tick_new_eps / 1e6);
+  std::printf("  legacy : %.2fs  %.1fM events/s\n", tick_legacy_s,
+              tick_legacy_eps / 1e6);
+  std::printf("  speedup: %.2fx\n\n", tick_legacy_s / tick_new_s);
+
+  // ---- Section 2: representative figure runs.
+  const figure_stats incast = run_incast_figure();
+  const figure_stats perm = run_permutation_figure();
+  for (const auto& st : {incast, perm}) {
+    std::printf("%-24s %8.2fs  %9llu events  %.2fM events/s  (%zu flows)\n",
+                st.name.c_str(), st.wall_seconds,
+                static_cast<unsigned long long>(st.events),
+                st.events_per_sec / 1e6, st.completed);
+  }
+
+  // ---- Section 3: serial vs parallel sweep, identical-results check.
+  std::vector<experiment_config> sweep;
+  for (int i = 0; i < 4; ++i) {
+    sweep.push_back(experiment_config{
+        .name = "incast_seed" + std::to_string(1000 + i),
+        .seed = static_cast<std::uint64_t>(1000 + i),
+        .param = i});
+  }
+  auto body = [](const experiment_config& cfg, sim_env& env,
+                 fct_recorder& fcts) { incast_body(cfg, env, fcts); };
+
+  parallel_runner serial(1);
+  const auto ts0 = std::chrono::steady_clock::now();
+  const auto serial_out = serial.run(sweep, body);
+  const double serial_wall = seconds_since(ts0);
+
+  parallel_runner pool(0);
+  const auto tp0 = std::chrono::steady_clock::now();
+  const auto parallel_out = pool.run(sweep, body);
+  const double parallel_wall = seconds_since(tp0);
+
+  const bool identical = outcomes_identical(serial_out, parallel_out);
+  const fct_recorder merged = merge_fcts(parallel_out);
+  std::printf(
+      "\nsweep of %zu configs: serial %.2fs, parallel %.2fs on %u threads "
+      "(%.2fx), results %s, %zu flows merged\n",
+      sweep.size(), serial_wall, parallel_wall, pool.threads(),
+      serial_wall / parallel_wall, identical ? "IDENTICAL" : "DIVERGED",
+      merged.completed());
+
+  // ---- Emit JSON.
+  FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"generated_by\": \"bench_eventcore\",\n");
+  std::fprintf(f, "  \"host_threads\": %u,\n", pool.threads());
+  std::fprintf(f, "  \"scheduler_microbench\": {\n");
+  std::fprintf(f,
+               "    \"timer_churn\": {\"ops\": %llu, \"legacy_ops_per_sec\": "
+               "%.0f, \"new_ops_per_sec\": %.0f, \"legacy_spurious_wakeups\": "
+               "%llu, \"speedup\": %.3f},\n",
+               static_cast<unsigned long long>(cp.acks), churn_legacy_ops,
+               churn_new_ops,
+               static_cast<unsigned long long>(legacy_spurious),
+               t_legacy / t_new);
+  std::fprintf(f,
+               "    \"tick_dispatch\": {\"events\": %llu, "
+               "\"legacy_events_per_sec\": %.0f, \"new_events_per_sec\": "
+               "%.0f, \"speedup\": %.3f}\n",
+               static_cast<unsigned long long>(tick_events), tick_legacy_eps,
+               tick_new_eps, tick_legacy_s / tick_new_s);
+  std::fprintf(f, "  },\n");
+  std::fprintf(f, "  \"figures\": [\n");
+  bool first = true;
+  for (const auto& st : {incast, perm}) {
+    std::fprintf(f,
+                 "%s    {\"name\": \"%s\", \"events\": %llu, "
+                 "\"wall_seconds\": %.4f, \"events_per_sec\": %.0f, "
+                 "\"flows_completed\": %zu}",
+                 first ? "" : ",\n", st.name.c_str(),
+                 static_cast<unsigned long long>(st.events), st.wall_seconds,
+                 st.events_per_sec, st.completed);
+    first = false;
+  }
+  std::fprintf(f, "\n  ],\n");
+  std::fprintf(f, "  \"parallel_sweep\": {\n");
+  std::fprintf(f, "    \"configs\": %zu,\n", sweep.size());
+  std::fprintf(f, "    \"threads\": %u,\n", pool.threads());
+  std::fprintf(f, "    \"serial_wall_seconds\": %.4f,\n", serial_wall);
+  std::fprintf(f, "    \"parallel_wall_seconds\": %.4f,\n", parallel_wall);
+  std::fprintf(f, "    \"speedup\": %.3f,\n", serial_wall / parallel_wall);
+  std::fprintf(f, "    \"identical_results\": %s\n",
+               identical ? "true" : "false");
+  std::fprintf(f, "  }\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path);
+
+  // The microbench gate this PR's acceptance criterion rides on.
+  if (t_legacy / t_new < 2.0) {
+    std::fprintf(stderr,
+                 "WARNING: timer churn speedup %.2fx below the 2x target\n",
+                 t_legacy / t_new);
+  }
+  return identical ? 0 : 2;
+}

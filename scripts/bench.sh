@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Build Release and refresh BENCH_eventcore.json at the repo root: the
+# event-core microbenchmark (new scheduler vs embedded legacy baseline) plus
+# representative figure runs and the serial-vs-parallel sweep.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build-bench}"
+
+cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
+      -DBUILD_TESTING=OFF >/dev/null
+cmake --build "$build_dir" --target bench_eventcore -j"$(nproc)"
+
+"$build_dir/bench_eventcore" "$repo_root/BENCH_eventcore.json"
+echo "updated $repo_root/BENCH_eventcore.json"

@@ -40,15 +40,13 @@ void dcqcn_source::connect(dcqcn_sink& sink, std::unique_ptr<route> fwd,
 }
 
 void dcqcn_source::do_next_event() {
-  if (!started_ && env_.now() >= start_time_) {
+  if (!started_) {
     started_ = true;
     last_increase_timer_ = env_.now();
     last_alpha_update_ = env_.now();
     next_send_ = env_.now();
-    send_scheduled_ = true;  // this very event doubles as the first send
+    // This very event doubles as the first send.
   }
-  if (!send_scheduled_) return;
-  send_scheduled_ = false;
   if (completed_ || next_seq_ > total_packets_) return;
 
   // Timer-driven state updates are piggybacked on pacing events, which fire
@@ -99,11 +97,13 @@ void dcqcn_source::send_next_packet() {
 }
 
 void dcqcn_source::schedule_pacing() {
-  if (send_scheduled_ || completed_ || next_seq_ > total_packets_) return;
+  if (completed_ || next_seq_ > total_packets_ ||
+      events().is_pending(pace_timer_)) {
+    return;
+  }
   const simtime_t gap = serialization_time(cfg_.mss_bytes, rc_);
   next_send_ = std::max(env_.now(), next_send_) + gap;
-  send_scheduled_ = true;
-  events().schedule_at(*this, next_send_);
+  events().reschedule(pace_timer_, *this, next_send_);
 }
 
 void dcqcn_source::receive(packet& p) {
@@ -114,6 +114,7 @@ void dcqcn_source::receive(packet& p) {
       if (!completed_ && flow_bytes_ > 0 && acked_cum_ >= total_packets_) {
         completed_ = true;
         completion_time_ = env_.now();
+        events().cancel(pace_timer_);  // no more sends will happen
         if (on_complete_) on_complete_();
       }
       break;

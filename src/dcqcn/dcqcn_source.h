@@ -108,7 +108,7 @@ class dcqcn_source final : public packet_sink, public event_source {
   simtime_t last_cnp_ = -1;
 
   simtime_t next_send_ = 0;
-  bool send_scheduled_ = false;
+  timer_handle pace_timer_;
   simtime_t start_time_ = 0;
   bool started_ = false;
   bool completed_ = false;

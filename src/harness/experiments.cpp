@@ -8,7 +8,19 @@ namespace ndpsim {
 
 testbed::testbed(std::uint64_t seed, fat_tree_config topo_cfg,
                  const fabric_params& fabric_in)
-    : env(seed), fabric(fabric_in) {
+    : owned_env_(std::make_unique<sim_env>(seed)),
+      env(*owned_env_),
+      fabric(fabric_in) {
+  init(std::move(topo_cfg));
+}
+
+testbed::testbed(sim_env& external_env, fat_tree_config topo_cfg,
+                 const fabric_params& fabric_in)
+    : env(external_env), fabric(fabric_in) {
+  init(std::move(topo_cfg));
+}
+
+void testbed::init(fat_tree_config topo_cfg) {
   topo_cfg.pfc = default_pfc(fabric);
   topo = std::make_unique<fat_tree>(env, topo_cfg, make_queue_factory(env, fabric));
   flows = std::make_unique<flow_factory>(env, *topo);

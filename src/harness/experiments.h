@@ -16,8 +16,17 @@ namespace ndpsim {
 struct testbed {
   testbed(std::uint64_t seed, fat_tree_config topo_cfg,
           const fabric_params& fabric);
+  /// Borrow an externally-owned env (e.g. the per-job env handed out by
+  /// `parallel_runner`) instead of owning one.
+  testbed(sim_env& external_env, fat_tree_config topo_cfg,
+          const fabric_params& fabric);
 
-  sim_env env;
+ private:
+  std::unique_ptr<sim_env> owned_env_;  ///< null when borrowing
+  void init(fat_tree_config topo_cfg);
+
+ public:
+  sim_env& env;
   fabric_params fabric;
   std::unique_ptr<fat_tree> topo;
   std::unique_ptr<flow_factory> flows;

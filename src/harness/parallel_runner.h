@@ -1,0 +1,69 @@
+// Parallel scenario runner: fans a vector of experiment configs across a
+// thread pool.
+//
+// Each job gets its own `sim_env` seeded only from its config, so a config's
+// result is a pure function of that config — bitwise identical whether the
+// sweep runs serially, on 2 threads or on 64, and in the same order either
+// way (results are stored by config index, not completion order).  This is
+// the scale-out story for the paper's figure sweeps: a 430-node FatTree
+// permutation is single-threaded by design, but every figure is many
+// independent scenarios, and those embarrass themselves in parallel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/sim_env.h"
+#include "stats/fct_recorder.h"
+
+namespace ndpsim {
+
+/// One scenario in a sweep: a label plus the seed that fully determines it.
+struct experiment_config {
+  std::string name;
+  std::uint64_t seed = 1;
+  std::int64_t param = 0;   ///< free-form scenario knob (fan-in, size, ...)
+  double param2 = 0.0;      ///< second knob where one is not enough
+};
+
+/// What came back from one scenario.
+struct experiment_outcome {
+  experiment_config config;
+  fct_recorder fcts;
+  std::uint64_t events_processed = 0;
+  simtime_t sim_end = 0;         ///< simulated time the run finished at
+  double wall_seconds = 0;
+  double events_per_sec = 0;
+};
+
+/// The body of an experiment: build everything from `env` (already seeded
+/// from the config), record completions into `fcts`.
+using experiment_fn =
+    std::function<void(const experiment_config&, sim_env& env,
+                       fct_recorder& fcts)>;
+
+class parallel_runner {
+ public:
+  /// `threads == 0` uses the hardware concurrency (min 1).
+  explicit parallel_runner(unsigned threads = 0);
+
+  /// Run `body` once per config.  Blocks until the whole sweep is done;
+  /// outcome[i] corresponds to configs[i].
+  [[nodiscard]] std::vector<experiment_outcome> run(
+      const std::vector<experiment_config>& configs,
+      const experiment_fn& body) const;
+
+  [[nodiscard]] unsigned threads() const { return threads_; }
+
+ private:
+  unsigned threads_;
+};
+
+/// All completed flows of a sweep folded into one recorder (outcome order,
+/// which is config order — deterministic).
+[[nodiscard]] fct_recorder merge_fcts(
+    const std::vector<experiment_outcome>& outcomes);
+
+}  // namespace ndpsim

@@ -56,10 +56,13 @@ void ndp_source::connect(ndp_sink& sink,
 }
 
 void ndp_source::do_next_event() {
-  if (!started_ && env_.now() >= start_time_) {
+  if (!started_) {
     started_ = true;
     start_flow();
+    return;
   }
+  // Only the RTO backstop timer remains, and it fires exactly at the
+  // earliest live deadline — no state-checking wake-ups.
   process_rto_heap();
 }
 
@@ -260,9 +263,11 @@ void ndp_source::handle_bounce(packet& p) {
 void ndp_source::arm_rto(std::uint64_t seqno, simtime_t deadline,
                          std::uint32_t epoch) {
   rto_heap_.push(rto_entry{deadline, seqno, epoch});
-  if (rto_armed_for_ < 0 || deadline < rto_armed_for_) {
-    rto_armed_for_ = deadline;
-    events().schedule_at(*this, deadline);
+  // One backstop timer covers every outstanding packet: keep it armed for
+  // the earliest deadline (O(log n) decrease-key, no extra event entries).
+  if (!events().is_pending(rto_timer_) ||
+      deadline < events().expiry(rto_timer_)) {
+    events().reschedule(rto_timer_, *this, deadline);
   }
 }
 
@@ -290,13 +295,28 @@ void ndp_source::process_rto_heap() {
     ++stats_.rtx_after_timeout;
     send_data(e.seqno, /*is_rtx=*/true);
   }
-  rto_armed_for_ = rto_heap_.empty() ? -1 : rto_heap_.top().deadline;
-  if (rto_armed_for_ >= 0) events().schedule_at(*this, rto_armed_for_);
+  // Drop entries invalidated by ACKs/state changes so the timer re-arms for
+  // a deadline that is still live (dead entries would otherwise keep waking
+  // us just to be skipped).
+  while (!rto_heap_.empty()) {
+    const rto_entry& top = rto_heap_.top();
+    auto it = outstanding_.find(top.seqno);
+    if (it != outstanding_.end() && it->second.epoch == top.epoch) break;
+    rto_heap_.pop();
+  }
+  if (rto_heap_.empty()) {
+    events().cancel(rto_timer_);
+  } else {
+    events().reschedule(rto_timer_, *this, rto_heap_.top().deadline);
+  }
 }
 
 void ndp_source::check_complete() {
   if (complete() && completion_time_ < 0) {
     completion_time_ = env_.now();
+    // Every packet is ACKed: the RTO backstop has nothing left to guard.
+    events().cancel(rto_timer_);
+    rto_heap_ = {};
     if (on_complete_) on_complete_();
   }
 }

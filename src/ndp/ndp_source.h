@@ -146,7 +146,7 @@ class ndp_source final : public packet_sink, public event_source {
   std::set<std::uint64_t> rtx_pending_;
   std::unordered_map<std::uint64_t, sent_info> outstanding_;
   std::priority_queue<rto_entry> rto_heap_;
-  simtime_t rto_armed_for_ = -1;
+  timer_handle rto_timer_;  ///< one backstop timer, armed for the earliest deadline
 
   simtime_t start_time_ = 0;
   bool started_ = false;

@@ -24,26 +24,22 @@ void pull_pacer::purge(ndp_sink& sink) {
   backlog_ -= sink.pulls_pending_;
   sink.pulls_pending_ = 0;
   // Lazy removal: the ring entry is skipped when popped with nothing pending.
+  // With the last pull gone, the armed release timer is cancelled instead of
+  // firing into an empty queue.
+  if (backlog_ == 0) events().cancel(timer_);
 }
 
 bool pull_pacer::any_pending() const { return backlog_ > 0; }
 
 void pull_pacer::schedule_if_needed() {
-  if (scheduled_ || !any_pending()) return;
-  scheduled_ = true;
-  const simtime_t when = std::max(env_.now(), next_send_);
-  events().schedule_at(*this, when);
+  if (!any_pending() || events().is_pending(timer_)) return;
+  events().reschedule(timer_, *this, std::max(env_.now(), next_send_));
 }
 
 void pull_pacer::do_next_event() {
-  scheduled_ = false;
-  if (!any_pending()) return;
-  if (env_.now() < next_send_) {
-    // Spurious early wake-up (can happen after a purge); re-arm.
-    scheduled_ = true;
-    events().schedule_at(*this, next_send_);
-    return;
-  }
+  // The timer only fires when a release is actually due: enqueue arms it,
+  // purge of the last pull cancels it.
+  NDPSIM_ASSERT(any_pending());
   send_one();
   schedule_if_needed();
 }

@@ -56,7 +56,7 @@ class pull_pacer final : public event_source {
   std::function<simtime_t(simtime_t)> jitter_;
   simtime_t next_send_ = 0;
   simtime_t ideal_next_ = 0;  ///< unjittered schedule (rate conservation)
-  bool scheduled_ = false;
+  timer_handle timer_;        ///< the one armed release timer
   std::uint64_t pulls_sent_ = 0;
   std::size_t backlog_ = 0;
 };

@@ -66,7 +66,9 @@ class pfc_ingress final : public packet_sink, public event_source {
       pending_.pop_front();
       if (upstream_ != nullptr) upstream_->set_paused(pause);
     }
-    if (!pending_.empty()) events().schedule_at(*this, pending_.front().first);
+    if (!pending_.empty()) {
+      events().reschedule(timer_, *this, pending_.front().first);
+    }
   }
 
   [[nodiscard]] std::uint64_t buffered_bytes() const { return buffered_; }
@@ -85,7 +87,8 @@ class pfc_ingress final : public packet_sink, public event_source {
   void signal(bool pause) {
     const simtime_t due = events().now() + pause_delay_;
     pending_.emplace_back(due, pause);
-    if (pending_.size() == 1) events().schedule_at(*this, due);
+    // Signals propagate in FIFO order, so one armed timer tracks the head.
+    if (pending_.size() == 1) timer_ = events().schedule_at(*this, due);
   }
 
   queue_base* upstream_;
@@ -96,6 +99,7 @@ class pfc_ingress final : public packet_sink, public event_source {
   std::uint64_t pauses_sent_ = 0;
   bool pause_requested_ = false;
   std::deque<std::pair<simtime_t, bool>> pending_;
+  timer_handle timer_;
 };
 
 }  // namespace ndpsim

@@ -92,6 +92,7 @@ struct packet {
   simtime_t first_sent = 0;    ///< time the original copy entered the network
   simtime_t enqueue_time = 0;  ///< scratch for queue-delay accounting
   pfc_ingress* ingress = nullptr;  ///< PFC buffer-accounting context
+  bool in_pool = false;  ///< owned by packet_pool's free list (double-free check)
 
   [[nodiscard]] bool has_flag(std::uint16_t f) const { return (flags & f) != 0; }
   void set_flag(std::uint16_t f) { flags |= f; }
@@ -119,11 +120,15 @@ class packet_pool {
     return p;
   }
 
-  /// Return a packet to the pool.
+  /// Return a packet to the pool.  Re-releasing a pointer that is already in
+  /// the pool is detected per-packet (the `outstanding_` counter alone would
+  /// miss a double free interleaved with an alloc of a different packet).
   void release(packet* p) {
     NDPSIM_ASSERT(p != nullptr);
-    NDPSIM_ASSERT_MSG(outstanding_ > 0, "double free of packet");
+    NDPSIM_ASSERT_MSG(!p->in_pool, "double free of packet");
+    NDPSIM_ASSERT_MSG(outstanding_ > 0, "release with nothing outstanding");
     --outstanding_;
+    poison(*p);
     free_.push_back(p);
   }
 
@@ -136,7 +141,28 @@ class packet_pool {
   void grow() {
     auto& block = blocks_.emplace_back(std::make_unique<packet[]>(kBlock));
     free_.reserve(free_.size() + kBlock);
-    for (std::size_t i = 0; i < kBlock; ++i) free_.push_back(&block[i]);
+    for (std::size_t i = 0; i < kBlock; ++i) {
+      block[i].in_pool = true;
+      free_.push_back(&block[i]);
+    }
+  }
+
+  /// Mark a released packet and (in debug builds) scribble over its fields so
+  /// use-after-release reads fail loudly instead of looking plausible.
+  static void poison(packet& p) {
+    p.in_pool = true;
+#ifndef NDEBUG
+    p.type = static_cast<packet_type>(0xEF);  // no such type: switches throw
+    p.flags = 0xDEAD;
+    p.flow_id = 0xDEADDEAD;
+    p.seqno = 0xDEADDEADDEADDEADull;
+    p.ackno = 0xDEADDEADDEADDEADull;
+    p.size_bytes = 0xDEADDEAD;
+    p.payload_bytes = 0xDEADDEAD;
+    p.rt = nullptr;
+    p.reverse_rt = nullptr;
+    p.ingress = nullptr;
+#endif
   }
 
   std::vector<std::unique_ptr<packet[]>> blocks_;

@@ -25,7 +25,11 @@ class pipe final : public packet_sink, public event_source {
   void receive(packet& p) override {
     const simtime_t due = events().now() + delay_;
     inflight_.emplace_back(due, &p);
-    if (inflight_.size() == 1) events().schedule_at(*this, due);
+    // FIFO by construction: the one armed timer always tracks the head of
+    // the line, so only the empty->non-empty transition arms it.
+    if (inflight_.size() == 1) {
+      timer_ = events().schedule_at(*this, due);
+    }
   }
 
   void do_next_event() override {
@@ -37,7 +41,7 @@ class pipe final : public packet_sink, public event_source {
       send_to_next_hop(*p);
     }
     if (!inflight_.empty()) {
-      events().schedule_at(*this, inflight_.front().first);
+      events().reschedule(timer_, *this, inflight_.front().first);
     }
   }
 
@@ -46,6 +50,7 @@ class pipe final : public packet_sink, public event_source {
  private:
   simtime_t delay_;
   std::deque<std::pair<simtime_t, packet*>> inflight_;
+  timer_handle timer_;
 };
 
 }  // namespace ndpsim

@@ -92,6 +92,8 @@ class queue_base : public packet_sink, public event_source {
     packet* p = dequeue_next();
     if (p == nullptr) return;
     serving_ = p;
+    // The service event is deliberately not kept as a handle: once a packet
+    // starts serializing it always completes (even under PFC pause).
     events().schedule_in(*this, serialization_time(p->size_bytes, rate_));
   }
 

@@ -19,14 +19,25 @@ struct sim_env {
 
   [[nodiscard]] simtime_t now() const { return events.now(); }
 
-  /// Uniform integer in [0, n).
+  /// Uniform integer in [0, n).  Lemire's multiply-shift reduction: one
+  /// 128-bit multiply on the hot path, no per-call distribution object, and
+  /// the rejection branch is taken with probability < n / 2^64 (never for the
+  /// small fan-outs the simulator draws).
   [[nodiscard]] std::uint64_t rand_below(std::uint64_t n) {
     NDPSIM_ASSERT(n > 0);
-    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(rng);
+    using u128 = unsigned __int128;
+    u128 m = u128(rng()) * n;
+    if (static_cast<std::uint64_t>(m) < n) [[unlikely]] {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (static_cast<std::uint64_t>(m) < threshold) {
+        m = u128(rng()) * n;
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
   }
-  /// Uniform double in [0, 1).
+  /// Uniform double in [0, 1): the top 53 bits of one draw, scaled.
   [[nodiscard]] double rand_unit() {
-    return std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+    return static_cast<double>(rng() >> 11) * 0x1.0p-53;
   }
   /// Fair coin.
   [[nodiscard]] bool rand_coin() { return rand_below(2) == 0; }

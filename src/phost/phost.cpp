@@ -45,7 +45,7 @@ void phost_source::connect(phost_sink& sink,
 }
 
 void phost_source::do_next_event() {
-  if (started_ || env_.now() < start_time_) return;
+  NDPSIM_ASSERT(!started_);  // only the one start event is ever scheduled
   started_ = true;
   // RTS announcing the flow size.
   packet* rts = env_.pool.alloc();
@@ -124,9 +124,8 @@ void phost_token_pacer::activate(phost_sink& sink) {
 void phost_token_pacer::deactivate(phost_sink& sink) { sink.active_ = false; }
 
 void phost_token_pacer::kick() {
-  if (scheduled_ || ring_.empty()) return;
-  scheduled_ = true;
-  events().schedule_at(*this, std::max(env_.now(), next_send_));
+  if (ring_.empty() || events().is_pending(timer_)) return;
+  events().reschedule(timer_, *this, std::max(env_.now(), next_send_));
 }
 
 phost_sink* phost_token_pacer::pick_next() {
@@ -145,18 +144,12 @@ phost_sink* phost_token_pacer::pick_next() {
 }
 
 void phost_token_pacer::do_next_event() {
-  scheduled_ = false;
-  if (env_.now() < next_send_) {
-    kick();
-    return;
-  }
   phost_sink* s = pick_next();
   if (s == nullptr) {
     // Nothing currently wants a token; retry after a timeout tick so token
-    // expiry can refresh demand.
+    // expiry can refresh demand (the only wake-up that can find no work).
     if (!ring_.empty()) {
-      scheduled_ = true;
-      events().schedule_in(*this, from_us(50));
+      timer_ = events().schedule_in(*this, from_us(50));
     }
     return;
   }

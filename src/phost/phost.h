@@ -96,7 +96,7 @@ class phost_token_pacer final : public event_source {
   linkspeed_bps rate_;
   std::deque<phost_sink*> ring_;
   simtime_t next_send_ = 0;
-  bool scheduled_ = false;
+  timer_handle timer_;
 };
 
 class phost_sink final : public packet_sink {

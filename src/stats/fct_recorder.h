@@ -36,6 +36,13 @@ class fct_recorder {
     std::uint64_t bytes;
   };
 
+  /// Fold another recorder's completed flows into this one (flow ids are
+  /// namespaced per experiment, so collisions across merged runs are fine).
+  void merge_from(const fct_recorder& other) {
+    done_.insert(done_.end(), other.done_.begin(), other.done_.end());
+    for (double v : other.fct_us_.raw()) fct_us_.add(v);
+  }
+
   [[nodiscard]] std::size_t completed() const { return done_.size(); }
   [[nodiscard]] std::size_t still_open() const { return open_.size(); }
   [[nodiscard]] const std::vector<record>& records() const { return done_; }

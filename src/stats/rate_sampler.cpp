@@ -13,7 +13,7 @@ rate_sampler::rate_sampler(sim_env& env,
 }
 
 void rate_sampler::start(simtime_t at) {
-  events().schedule_at(*this, at);
+  timer_ = events().schedule_at(*this, at);
 }
 
 void rate_sampler::do_next_event() {
@@ -27,7 +27,7 @@ void rate_sampler::do_next_event() {
         sample{env_.now(), bits / to_sec(interval_) / 1.0});
   }
   last_count_ = count;
-  events().schedule_in(*this, interval_);
+  timer_ = events().schedule_in(*this, interval_);
 }
 
 double rate_sampler::overall_rate_bps() const {

@@ -18,6 +18,8 @@ class rate_sampler final : public event_source {
                simtime_t interval, std::string name = "rates");
 
   void start(simtime_t at);
+  /// Stop polling (cancels the pending poll timer).
+  void stop() { events().cancel(timer_); }
   void do_next_event() override;
 
   struct sample {
@@ -32,6 +34,7 @@ class rate_sampler final : public event_source {
   sim_env& env_;
   std::function<std::uint64_t()> counter_;
   simtime_t interval_;
+  timer_handle timer_;
   std::uint64_t last_count_ = 0;
   simtime_t first_poll_ = -1;
   std::uint64_t first_count_ = 0;

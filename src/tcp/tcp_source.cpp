@@ -44,36 +44,28 @@ void tcp_source::connect(tcp_sink& sink, std::unique_ptr<route> fwd,
 }
 
 void tcp_source::do_next_event() {
-  if (!started_ && env_.now() >= start_time_) {
+  if (!started_) {
     started_ = true;
     start_flow();
     return;
   }
-  // Lazy RTO timer: one pending event; reschedule if the deadline moved.
-  rto_event_at_ = -1;
-  if (rto_deadline_ < 0) return;
-  if (env_.now() < rto_deadline_) {
-    rto_event_at_ = rto_deadline_;
-    events().schedule_at(*this, rto_deadline_);
-    return;
+  // Genuine RTO expiry: the timer is moved on every ACK and cancelled when
+  // nothing is outstanding, so a firing always means a timeout.
+  NDPSIM_ASSERT(syn_outstanding_ || snd_una_ < snd_nxt_);
+  ++stats_.timeouts;
+  enter_slow_start_after_timeout();
+  if (syn_outstanding_) {
+    send_syn();
+  } else {
+    ++stats_.rtx_timeout;
+    retransmit_head();
+    // Treat everything in flight as suspect: recover holes NewReno-style
+    // as cumulative ACKs come back.
+    in_recovery_ = true;
+    recover_ = snd_nxt_;
   }
-  rto_deadline_ = -1;
-  if (syn_outstanding_ || snd_una_ < snd_nxt_) {
-    ++stats_.timeouts;
-    enter_slow_start_after_timeout();
-    if (syn_outstanding_) {
-      send_syn();
-    } else {
-      ++stats_.rtx_timeout;
-      retransmit_head();
-      // Treat everything in flight as suspect: recover holes NewReno-style
-      // as cumulative ACKs come back.
-      in_recovery_ = true;
-      recover_ = snd_nxt_;
-    }
-    rto_ = std::min<simtime_t>(2 * rto_, from_sec(1.0));
-    arm_rto();
-  }
+  rto_ = std::min<simtime_t>(2 * rto_, from_sec(1.0));
+  arm_rto();
 }
 
 void tcp_source::start_flow() {
@@ -184,11 +176,11 @@ void tcp_source::receive(packet& p) {
 
 void tcp_source::handle_ack(const packet& p) {
   if (p.has_flag(pkt_flag::syn)) {
-    // SYN-ACK: connection established.
+    // SYN-ACK: connection established. try_send -> arm_rto re-arms (or
+    // cancels) the timer as appropriate.
     if (!established_) {
       established_ = true;
       syn_outstanding_ = false;
-      rto_deadline_ = -1;
       try_send();
     }
     return;
@@ -286,21 +278,17 @@ void tcp_source::update_rtt(simtime_t sample) {
 
 void tcp_source::arm_rto() {
   if (!syn_outstanding_ && snd_una_ >= snd_nxt_) {
-    rto_deadline_ = -1;  // nothing outstanding
+    events().cancel(rto_timer_);  // nothing outstanding
     return;
   }
-  rto_deadline_ = env_.now() + rto_;
-  if (rto_event_at_ < 0) {
-    rto_event_at_ = rto_deadline_;
-    events().schedule_at(*this, rto_deadline_);
-  }
+  events().reschedule(rto_timer_, *this, env_.now() + rto_);
 }
 
 void tcp_source::check_complete() {
   if (!completed_ && flow_bytes_ > 0 && snd_una_ >= flow_bytes_) {
     completed_ = true;
     completion_time_ = env_.now();
-    rto_deadline_ = -1;
+    events().cancel(rto_timer_);
     if (on_complete_) on_complete_();
   }
 }

@@ -133,8 +133,7 @@ class tcp_source : public packet_sink, public event_source {
   simtime_t srtt_ = 0;
   simtime_t rttvar_ = 0;
   simtime_t rto_ = 0;
-  simtime_t rto_deadline_ = -1;
-  simtime_t rto_event_at_ = -1;  ///< earliest pending timer event, -1 if none
+  timer_handle rto_timer_;  ///< rescheduled on every ACK, cancelled when idle
   simtime_t last_ecn_cut_ = -1;
 
   simtime_t start_time_ = 0;

@@ -21,7 +21,7 @@ void cbr_source::start(std::unique_ptr<route> rt, std::uint32_t src,
   route_ = std::move(rt);
   src_ = src;
   dst_ = dst;
-  events().schedule_at(*this, start_at);
+  timer_ = events().schedule_at(*this, start_at);
 }
 
 void cbr_source::do_next_event() {
@@ -42,7 +42,7 @@ void cbr_source::do_next_event() {
     const double noise = (env_.rand_unit() - 0.5) * jitter_frac_;
     period = static_cast<simtime_t>(static_cast<double>(period) * (1.0 + noise));
   }
-  events().schedule_in(*this, period);
+  timer_ = events().schedule_in(*this, period);
 }
 
 }  // namespace ndpsim

@@ -55,9 +55,13 @@ class cbr_source final : public event_source {
 
   void do_next_event() override;
 
+  /// Stop sending (cancels the pending send timer).
+  void stop() { events().cancel(timer_); }
+
   [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
 
  private:
+  timer_handle timer_;
   sim_env& env_;
   linkspeed_bps rate_;
   std::uint32_t mss_bytes_;

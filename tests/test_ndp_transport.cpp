@@ -59,6 +59,23 @@ TEST(ndp_transport, zero_rtt_small_flow_completes_in_first_window) {
   EXPECT_EQ(env.pool.outstanding(), 0u);
 }
 
+TEST(ndp_transport, completed_flow_leaves_no_timers_pending) {
+  // Timer-leak check for the cancellable-handle scheduler: the moment the
+  // flow completes, the RTO backstop and pull-pacer timers must be cancelled
+  // — zero dead entries left to fire, zero packets leaked.
+  sim_env env;
+  back_to_back b2b(env, gbps(10), from_us(1), ndp_factory(env));
+  pull_pacer pacer(env, gbps(10));
+  connection c(env, b2b, pacer, 0, 1, 80 * 8936, 1);  // pulls past the IW
+  while (!c.source.complete() && env.events.run_next_event()) {
+  }
+  ASSERT_TRUE(c.source.complete());
+  EXPECT_TRUE(c.sink.complete());
+  EXPECT_EQ(env.events.pending(), 0u);
+  EXPECT_EQ(pacer.backlog(), 0u);
+  EXPECT_EQ(env.pool.outstanding(), 0u);
+}
+
 TEST(ndp_transport, every_first_window_packet_carries_syn_and_offset) {
   sim_env env;
   // Manual wiring with a tap to observe the wire.

@@ -39,6 +39,31 @@ TEST(packet_pool, double_free_throws) {
   EXPECT_THROW(pool.release(a), simulation_error);
 }
 
+TEST(packet_pool, interleaved_double_free_throws) {
+  // With another packet still outstanding, the aggregate counter alone would
+  // let this re-release slip through; the per-packet in-pool flag catches it.
+  packet_pool pool;
+  packet* a = pool.alloc();
+  packet* b = pool.alloc();
+  pool.release(a);
+  EXPECT_THROW(pool.release(a), simulation_error);
+  EXPECT_EQ(pool.outstanding(), 1u);  // the failed release changed nothing
+  pool.release(b);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
+TEST(packet_pool, released_packet_can_be_reallocated_cleanly) {
+  packet_pool pool;
+  packet* a = pool.alloc();
+  a->seqno = 7;
+  pool.release(a);
+  packet* b = pool.alloc();  // same storage, poison must be wiped
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(b->seqno, 0u);
+  EXPECT_FALSE(b->in_pool);
+  pool.release(b);
+}
+
 TEST(packet_pool, grows_beyond_one_block) {
   packet_pool pool;
   std::vector<packet*> ps;
