@@ -16,6 +16,7 @@
 #include "net/fifo_queues.h"
 #include "stats/cdf.h"
 #include "topo/micro_topo.h"
+#include "topo/path_table.h"
 #include "workload/cbr_source.h"
 
 namespace ndpsim {
@@ -84,14 +85,13 @@ void BM_overload(benchmark::State& state) {
     std::vector<std::unique_ptr<cbr_source>> sources;
     std::vector<std::unique_ptr<counting_sink>> sinks;
     for (std::uint32_t i = 0; i < n; ++i) {
-      auto [fwd, rev] = star.make_route_pair(i, static_cast<std::uint32_t>(n), 0);
       auto sink = std::make_unique<counting_sink>(env);
-      fwd->push_back(sink.get());
       const double skew =
           1.0 + (static_cast<double>((i * 7919u) % 101u) - 50.0) * 1e-4;
       auto src = std::make_unique<cbr_source>(
           env, static_cast<linkspeed_bps>(10e9 * skew), 9000, i, 0.10);
-      src->start(std::move(fwd), i, static_cast<std::uint32_t>(n), 0);
+      src->start(star.paths().single(i, static_cast<std::uint32_t>(n), 0),
+                 sink.get(), i, static_cast<std::uint32_t>(n), 0);
       sources.push_back(std::move(src));
       sinks.push_back(std::move(sink));
     }
@@ -149,10 +149,8 @@ void BM_tiny_flow_incast(benchmark::State& state) {
       conn c;
       c.src = std::make_unique<ndp_source>(env, sc, 100 + s);
       c.snk = std::make_unique<ndp_sink>(env, pacer, ndp_sink_config{}, 100 + s);
-      std::vector<std::unique_ptr<route>> f, r;
-      star.make_routes(s, static_cast<std::uint32_t>(n), f, r);
-      c.src->connect(*c.snk, std::move(f), std::move(r), s,
-                     static_cast<std::uint32_t>(n), 2 * 8936, 0);
+      c.src->connect(*c.snk, star.paths().all(s, static_cast<std::uint32_t>(n)),
+                     s, static_cast<std::uint32_t>(n), 2 * 8936, 0);
       conns.push_back(std::move(c));
     }
     env.events.run_until(from_ms(100));

@@ -15,6 +15,7 @@
 #include "net/fifo_queues.h"
 #include "ndp/ndp_queue.h"
 #include "topo/micro_topo.h"
+#include "topo/path_table.h"
 #include "stats/cdf.h"
 #include "workload/cbr_source.h"
 
@@ -49,9 +50,7 @@ collapse_result run_collapse(bool use_ndp_queue, std::size_t n_flows,
   std::vector<std::unique_ptr<cbr_source>> sources;
   std::vector<std::unique_ptr<counting_sink>> sinks;
   for (std::uint32_t i = 0; i < n_flows; ++i) {
-    auto [fwd, rev] = star.make_route_pair(i, rx, 0);
     auto sink = std::make_unique<counting_sink>(env);
-    fwd->push_back(sink.get());
     // Send jitter plus per-sender clock skew model OS/NIC timing
     // variability and crystal tolerance (the paper notes real-world phase
     // effects are partially masked by exactly this); skew makes sender
@@ -59,7 +58,8 @@ collapse_result run_collapse(bool use_ndp_queue, std::size_t n_flows,
     const double skew = 1.0 + (static_cast<double>((i * 7919u) % 101u) - 50.0) * 1e-4;
     const auto rate = static_cast<linkspeed_bps>(10e9 * skew);
     auto src = std::make_unique<cbr_source>(env, rate, mtu, i, 0.10);
-    src->start(std::move(fwd), i, rx, static_cast<simtime_t>(i) * 100);
+    src->start(star.paths().single(i, rx, 0), sink.get(), i, rx,
+               static_cast<simtime_t>(i) * 100);
     sources.push_back(std::move(src));
     sinks.push_back(std::move(sink));
   }

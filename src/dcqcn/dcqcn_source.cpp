@@ -18,16 +18,21 @@ dcqcn_source::dcqcn_source(sim_env& env, dcqcn_config cfg,
   NDPSIM_ASSERT(cfg_.line_rate > 0 && cfg_.min_rate > 0);
 }
 
-void dcqcn_source::connect(dcqcn_sink& sink, std::unique_ptr<route> fwd,
-                           std::unique_ptr<route> rev, std::uint32_t src_host,
-                           std::uint32_t dst_host, std::uint64_t flow_bytes,
-                           simtime_t start) {
+dcqcn_source::~dcqcn_source() {
+  if (sink_ != nullptr) paths_.unbind(flow_id_);
+}
+
+void dcqcn_source::connect(dcqcn_sink& sink, path_set paths,
+                           std::uint32_t src_host, std::uint32_t dst_host,
+                           std::uint64_t flow_bytes, simtime_t start) {
+  NDPSIM_ASSERT_MSG(!paths.empty(), "need at least one path");
   sink_ = &sink;
-  fwd_route_ = std::move(fwd);
-  rev_route_ = std::move(rev);
-  fwd_route_->push_back(sink_);
-  rev_route_->push_back(this);
-  sink_->bind(rev_route_.get(), dst_host, src_host);
+  paths_ = paths;
+  fwd_route_ = paths_.forward(0);
+  rev_route_ = paths_.reverse(0);
+  paths_.bind_dst(flow_id_, sink_);
+  paths_.bind_src(flow_id_, this);
+  sink_->bind(rev_route_, dst_host, src_host);
   src_host_ = src_host;
   dst_host_ = dst_host;
   flow_bytes_ = flow_bytes;
@@ -83,7 +88,7 @@ void dcqcn_source::send_next_packet() {
   p->size_bytes = p->payload_bytes + kHeaderBytes;
   p->set_flag(pkt_flag::ect);
   if (next_seq_ == total_packets_) p->set_flag(pkt_flag::last);
-  p->rt = fwd_route_.get();
+  p->rt = fwd_route_;
   p->next_hop = 0;
   ++next_seq_;
   ++stats_.packets_sent;

@@ -21,6 +21,7 @@
 #include <set>
 
 #include "net/packet.h"
+#include "net/path_set.h"
 #include "net/route.h"
 #include "net/sim_env.h"
 #include "sim/eventlist.h"
@@ -53,9 +54,10 @@ class dcqcn_source final : public packet_sink, public event_source {
  public:
   dcqcn_source(sim_env& env, dcqcn_config cfg, std::uint32_t flow_id,
                std::string name = "dcqcnsrc");
+  ~dcqcn_source() override;
 
-  void connect(dcqcn_sink& sink, std::unique_ptr<route> fwd,
-               std::unique_ptr<route> rev, std::uint32_t src_host,
+  /// Single path (RoCE flows are pinned): path 0 of the borrowed set.
+  void connect(dcqcn_sink& sink, path_set paths, std::uint32_t src_host,
                std::uint32_t dst_host, std::uint64_t flow_bytes,
                simtime_t start);
 
@@ -86,8 +88,9 @@ class dcqcn_source final : public packet_sink, public event_source {
   dcqcn_config cfg_;
   std::uint32_t flow_id_;
   dcqcn_sink* sink_ = nullptr;
-  std::unique_ptr<route> fwd_route_;
-  std::unique_ptr<route> rev_route_;
+  path_set paths_;  ///< borrowed; path 0 is the flow's route pair
+  const route* fwd_route_ = nullptr;
+  const route* rev_route_ = nullptr;
   std::uint32_t src_host_ = 0;
   std::uint32_t dst_host_ = 0;
 

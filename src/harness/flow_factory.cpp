@@ -7,6 +7,7 @@
 #include "mptcp/mptcp_source.h"
 #include "tcp/tcp_sink.h"
 #include "tcp/tcp_source.h"
+#include "topo/path_table.h"
 
 namespace ndpsim {
 
@@ -28,10 +29,8 @@ class ndp_flow final : public flow {
     kc.mss_bytes = o.mss_bytes;
     kc.pull_class = o.pull_class;
     sink_ = std::make_unique<ndp_sink>(env, pacer, kc, fid);
-    std::vector<std::unique_ptr<route>> fwd, rev;
-    topo.make_routes(s, d, fwd, rev, o.max_paths);
-    source_->connect(*sink_, std::move(fwd), std::move(rev), s, d, o.bytes,
-                     o.start);
+    source_->connect(*sink_, topo.paths().sample(env, s, d, o.max_paths), s,
+                     d, o.bytes, o.start);
   }
 
   [[nodiscard]] std::uint64_t payload_received() const override {
@@ -79,8 +78,7 @@ class tcp_flow final : public flow {
     const std::size_t path =
         o.fixed_path >= 0 ? static_cast<std::size_t>(o.fixed_path)
                           : env.rand_below(n);
-    auto [fwd, rev] = topo.make_route_pair(s, d, path);
-    source_->connect(*sink_, std::move(fwd), std::move(rev), s, d, o.bytes,
+    source_->connect(*sink_, topo.paths().single(s, d, path), s, d, o.bytes,
                      o.start);
   }
 
@@ -113,20 +111,12 @@ class mptcp_flow final : public flow {
     tc.max_cwnd_mss = o.max_cwnd_mss;
     source_ = std::make_unique<mptcp_source>(env, tc, fid,
                                              "mptcp" + std::to_string(fid));
-    // Distinct paths for the subflows (sampled without replacement when
-    // possible).
+    // Distinct paths for the subflows (seeded sample without replacement);
+    // extra subflows beyond the path count share routes round-robin.
     const std::size_t n = topo.n_paths(s, d);
-    std::vector<std::size_t> all(n);
-    for (std::size_t i = 0; i < n; ++i) all[i] = i;
-    std::shuffle(all.begin(), all.end(), env.rng);
     const std::size_t k = std::max<std::size_t>(1, o.subflows);
-    std::vector<std::unique_ptr<route>> fwd, rev;
-    for (std::size_t i = 0; i < k; ++i) {
-      auto [f, r] = topo.make_route_pair(s, d, all[i % n]);
-      fwd.push_back(std::move(f));
-      rev.push_back(std::move(r));
-    }
-    source_->connect(std::move(fwd), std::move(rev), s, d, o.bytes, o.start);
+    source_->connect(topo.paths().sample(env, s, d, std::min(k, n)),
+                     static_cast<unsigned>(k), s, d, o.bytes, o.start);
   }
 
   [[nodiscard]] std::uint64_t payload_received() const override {
@@ -158,8 +148,7 @@ class dcqcn_flow final : public flow {
     const std::size_t path =
         o.fixed_path >= 0 ? static_cast<std::size_t>(o.fixed_path)
                           : env.rand_below(n);
-    auto [fwd, rev] = topo.make_route_pair(s, d, path);
-    source_->connect(*sink_, std::move(fwd), std::move(rev), s, d, o.bytes,
+    source_->connect(*sink_, topo.paths().single(s, d, path), s, d, o.bytes,
                      o.start);
   }
 
@@ -189,10 +178,8 @@ class phost_flow final : public flow {
     source_ = std::make_unique<phost_source>(env, pc, fid,
                                              "phost" + std::to_string(fid));
     sink_ = std::make_unique<phost_sink>(env, pacer, pc, fid);
-    std::vector<std::unique_ptr<route>> fwd, rev;
-    topo.make_routes(s, d, fwd, rev, o.max_paths);
-    source_->connect(*sink_, std::move(fwd), std::move(rev), s, d, o.bytes,
-                     o.start);
+    source_->connect(*sink_, topo.paths().sample(env, s, d, o.max_paths), s,
+                     d, o.bytes, o.start);
   }
 
   [[nodiscard]] std::uint64_t payload_received() const override {

@@ -34,7 +34,11 @@ struct flow_options {
   std::uint32_t max_cwnd_mss = 1000;
   unsigned subflows = 8;  ///< MPTCP
   // Path selection
-  std::size_t max_paths = 0;  ///< cap on multipath set size (0 = all)
+  /// Cap on multipath set size (0 = all).  When capped, the subset is a
+  /// seeded random sample (not the first n indices, which would bias every
+  /// flow onto the low core/agg switches), so two flows on the same pair can
+  /// spread over different subsets.
+  std::size_t max_paths = 0;
   int fixed_path = -1;        ///< force single-path protocols onto this path
 };
 

@@ -35,14 +35,14 @@ mptcp_source::mptcp_source(sim_env& env, tcp_config cfg, std::uint32_t flow_id,
                            std::string name)
     : env_(env), cfg_(cfg), flow_id_(flow_id), name_(std::move(name)) {}
 
-void mptcp_source::connect(std::vector<std::unique_ptr<route>> fwd,
-                           std::vector<std::unique_ptr<route>> rev,
+void mptcp_source::connect(path_set paths, unsigned n_subflows,
                            std::uint32_t src_host, std::uint32_t dst_host,
                            std::uint64_t flow_bytes, simtime_t start) {
-  NDPSIM_ASSERT(!fwd.empty() && fwd.size() == rev.size());
+  NDPSIM_ASSERT_MSG(!paths.empty(), "need at least one path");
+  const std::size_t k = n_subflows == 0 ? paths.size() : n_subflows;
   flow_bytes_ = flow_bytes;
   remaining_ = flow_bytes == 0 ? UINT64_MAX : flow_bytes;
-  for (std::size_t i = 0; i < fwd.size(); ++i) {
+  for (std::size_t i = 0; i < k; ++i) {
     auto& sub = subflows_.emplace_back(std::make_unique<mptcp_subflow>(
         env_, cfg_, flow_id_ + static_cast<std::uint32_t>(i), *this,
         name_ + ".sub" + std::to_string(i)));
@@ -50,8 +50,8 @@ void mptcp_source::connect(std::vector<std::unique_ptr<route>> fwd,
         env_, flow_id_ + static_cast<std::uint32_t>(i)));
     // Subflows get an unbounded budget; actual allocation happens through
     // claim(), and completion is tracked at the connection level.
-    sub->connect(*sink, std::move(fwd[i]), std::move(rev[i]), src_host,
-                 dst_host, /*flow_bytes=*/0, start);
+    sub->connect(*sink, paths.slice(i % paths.size()), src_host, dst_host,
+                 /*flow_bytes=*/0, start);
   }
 }
 

@@ -43,10 +43,11 @@ class mptcp_source {
   mptcp_source(sim_env& env, tcp_config cfg, std::uint32_t flow_id,
                std::string name = "mptcp");
 
-  /// One subflow per route pair (typically 8). Appends endpoints; subflow i
-  /// uses fwd[i]/rev[i].
-  void connect(std::vector<std::unique_ptr<route>> fwd,
-               std::vector<std::unique_ptr<route>> rev, std::uint32_t src_host,
+  /// One subflow per path (typically 8): subflow i is pinned to path
+  /// i % paths.size() of the borrowed set, so more subflows than distinct
+  /// paths share routes (which interning makes free).  `n_subflows == 0`
+  /// means one subflow per path.
+  void connect(path_set paths, unsigned n_subflows, std::uint32_t src_host,
                std::uint32_t dst_host, std::uint64_t flow_bytes,
                simtime_t start);
 

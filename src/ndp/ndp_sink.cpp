@@ -9,10 +9,10 @@ ndp_sink::ndp_sink(sim_env& env, pull_pacer& pacer, ndp_sink_config cfg,
   NDPSIM_ASSERT(cfg_.pull_class < kPullClasses);
 }
 
-void ndp_sink::bind(std::vector<const route*> ctrl_routes,
-                    std::uint32_t local_host, std::uint32_t remote_host) {
-  NDPSIM_ASSERT_MSG(!ctrl_routes.empty(), "sink needs at least one ctrl route");
-  ctrl_routes_ = std::move(ctrl_routes);
+void ndp_sink::bind(path_set paths, std::uint32_t local_host,
+                    std::uint32_t remote_host) {
+  NDPSIM_ASSERT_MSG(!paths.empty(), "sink needs at least one ctrl route");
+  paths_ = paths;
   local_host_ = local_host;
   remote_host_ = remote_host;
 }
@@ -89,8 +89,7 @@ void ndp_sink::send_control(packet_type type, std::uint64_t seqno,
   p->seqno = seqno;
   p->path_id = echo_path;
   // Control packets are sprayed across paths too (reverse direction).
-  const route* rt = ctrl_routes_[env_.rand_below(ctrl_routes_.size())];
-  p->rt = rt;
+  p->rt = paths_.reverse(env_.rand_below(paths_.size()));
   p->next_hop = 0;
   send_to_next_hop(*p);
 }
@@ -106,8 +105,7 @@ void ndp_sink::issue_pull() {
   p->dst = remote_host_;
   p->size_bytes = kHeaderBytes;
   p->pullno = pull_counter_;
-  const route* rt = ctrl_routes_[env_.rand_below(ctrl_routes_.size())];
-  p->rt = rt;
+  p->rt = paths_.reverse(env_.rand_below(paths_.size()));
   p->next_hop = 0;
   send_to_next_hop(*p);
 }

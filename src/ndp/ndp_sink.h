@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "net/path_set.h"
 #include "net/route.h"
 #include "net/sim_env.h"
 #include "ndp/pull_pacer.h"
@@ -39,9 +40,9 @@ class ndp_sink final : public packet_sink {
   ndp_sink(sim_env& env, pull_pacer& pacer, ndp_sink_config cfg,
            std::uint32_t flow_id);
 
-  /// Bind the reverse (control) routes towards the sender. Non-owning; the
-  /// connection owner keeps them alive.
-  void bind(std::vector<const route*> ctrl_routes, std::uint32_t local_host,
+  /// Bind the path set whose reverse routes are the control routes towards
+  /// the sender. Borrowed; the path owner keeps the routes alive.
+  void bind(path_set paths, std::uint32_t local_host,
             std::uint32_t remote_host);
 
   void receive(packet& p) override;
@@ -89,7 +90,7 @@ class ndp_sink final : public packet_sink {
   std::uint32_t flow_id_;
   std::uint32_t local_host_ = 0;
   std::uint32_t remote_host_ = 0;
-  std::vector<const route*> ctrl_routes_;
+  path_set paths_;  ///< control packets ride paths_.reverse(i)
 
   std::uint64_t cum_received_ = 0;      ///< all packets 1..cum received
   std::set<std::uint64_t> ooo_;         ///< received beyond cum

@@ -17,17 +17,17 @@ ndp_source::ndp_source(sim_env& env, ndp_source_config cfg,
   NDPSIM_ASSERT(cfg_.iw_packets >= 1);
 }
 
-void ndp_source::connect(ndp_sink& sink,
-                         std::vector<std::unique_ptr<route>> fwd,
-                         std::vector<std::unique_ptr<route>> rev,
+ndp_source::~ndp_source() {
+  if (sink_ != nullptr) net_paths_.unbind(flow_id_);
+}
+
+void ndp_source::connect(ndp_sink& sink, path_set paths,
                          std::uint32_t src_host, std::uint32_t dst_host,
                          std::uint64_t flow_bytes, simtime_t start,
                          packet_sink* rx_endpoint) {
-  NDPSIM_ASSERT_MSG(!fwd.empty() && fwd.size() == rev.size(),
-                    "need matching forward/reverse route sets");
+  NDPSIM_ASSERT_MSG(!paths.empty(), "need at least one path");
   sink_ = &sink;
-  fwd_routes_ = std::move(fwd);
-  rev_routes_ = std::move(rev);
+  net_paths_ = paths;
   src_host_ = src_host;
   dst_host_ = dst_host;
   flow_bytes_ = flow_bytes;
@@ -36,20 +36,13 @@ void ndp_source::connect(ndp_sink& sink,
           ? kUnbounded
           : (flow_bytes + payload_per_packet_ - 1) / payload_per_packet_;
 
-  std::vector<const route*> ctrl;
-  ctrl.reserve(rev_routes_.size());
   packet_sink* rx = rx_endpoint != nullptr ? rx_endpoint
                                            : static_cast<packet_sink*>(sink_);
-  for (std::size_t i = 0; i < fwd_routes_.size(); ++i) {
-    fwd_routes_[i]->push_back(rx);
-    rev_routes_[i]->push_back(this);
-    fwd_routes_[i]->set_reverse(rev_routes_[i].get());
-    rev_routes_[i]->set_reverse(fwd_routes_[i].get());
-    ctrl.push_back(rev_routes_[i].get());
-  }
-  sink_->bind(std::move(ctrl), dst_host, src_host);
+  net_paths_.bind_dst(flow_id_, rx);
+  net_paths_.bind_src(flow_id_, this);
+  sink_->bind(net_paths_, dst_host, src_host);
 
-  paths_ = std::make_unique<path_selector>(env_, fwd_routes_.size(), cfg_.mode,
+  paths_ = std::make_unique<path_selector>(env_, net_paths_.size(), cfg_.mode,
                                            cfg_.penalty);
   start_time_ = start;
   events().schedule_at(*this, start);
@@ -108,8 +101,8 @@ void ndp_source::send_data(std::uint64_t seqno, bool is_rtx) {
   if (first_window_phase_) p->set_flag(pkt_flag::syn);
   if (seqno == total_packets_) p->set_flag(pkt_flag::last);
   if (is_rtx) p->set_flag(pkt_flag::rtx);
-  p->rt = fwd_routes_[path].get();
-  p->reverse_rt = rev_routes_[path].get();
+  p->rt = net_paths_.forward(path);
+  p->reverse_rt = net_paths_.reverse(path);
   p->next_hop = 0;
 
   sent_info& info = outstanding_[seqno];

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "net/path_set.h"
 #include "net/route.h"
 #include "net/sim_env.h"
 #include "ndp/path_selector.h"
@@ -55,17 +56,17 @@ class ndp_source final : public packet_sink, public event_source {
  public:
   ndp_source(sim_env& env, ndp_source_config cfg, std::uint32_t flow_id,
              std::string name = "ndpsrc");
+  ~ndp_source() override;
 
-  /// Wire up a connection. `fwd`/`rev` are endpoint-less route pairs from the
-  /// topology (fwd[i] and rev[i] traverse the same switches); this call
-  /// appends the endpoints, registers reverses, hands control routes to the
-  /// sink and schedules the first-window push at `start`.
-  /// `flow_bytes == 0` means an unbounded flow.
-  /// If `rx_endpoint` is non-null, forward routes terminate there instead of
-  /// at the sink (used to interpose an `ndp_acceptor` for zero-RTT listen
-  /// semantics); the endpoint must eventually hand packets to the sink.
-  void connect(ndp_sink& sink, std::vector<std::unique_ptr<route>> fwd,
-               std::vector<std::unique_ptr<route>> rev, std::uint32_t src_host,
+  /// Wire up a connection over a borrowed multipath set (shared interned
+  /// routes from `topology::paths()`, or a `manual_paths` build).  Registers
+  /// this source and the sink with the set's demuxes under the flow id,
+  /// hands the control (reverse) routes to the sink and schedules the
+  /// first-window push at `start`.  `flow_bytes == 0` means an unbounded
+  /// flow.  If `rx_endpoint` is non-null it is registered as the receiving
+  /// endpoint instead of the sink (used to interpose an `ndp_acceptor` for
+  /// zero-RTT listen semantics); it must eventually hand packets to the sink.
+  void connect(ndp_sink& sink, path_set paths, std::uint32_t src_host,
                std::uint32_t dst_host, std::uint64_t flow_bytes,
                simtime_t start, packet_sink* rx_endpoint = nullptr);
 
@@ -131,8 +132,7 @@ class ndp_source final : public packet_sink, public event_source {
   std::uint32_t payload_per_packet_;
 
   ndp_sink* sink_ = nullptr;
-  std::vector<std::unique_ptr<route>> fwd_routes_;
-  std::vector<std::unique_ptr<route>> rev_routes_;
+  path_set net_paths_;  ///< borrowed; the topology/path owner outlives us
   std::unique_ptr<path_selector> paths_;
   std::uint32_t src_host_ = 0;
   std::uint32_t dst_host_ = 0;

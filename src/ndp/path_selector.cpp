@@ -82,17 +82,29 @@ void path_selector::evaluate_penalties() {
     const double other_samples = (total_acks - s.acks) + (total_nacks - s.nacks);
     const double other_frac =
         other_samples > 0 ? (total_nacks - s.nacks) / other_samples : 0.0;
+    bool exclude = false;
     const double samples = s.acks + s.nacks;
     if (samples >= penalty_.min_samples) {
       const double frac = s.nacks / samples;
       if (frac > other_frac * penalty_.nack_factor + penalty_.nack_offset) {
-        s.excluded_until = env_.now() + penalty_.penalty_time;
+        exclude = true;
       }
     }
     const double other_losses =
         (total_losses - s.losses) / std::max(1.0, double(stats_.size() - 1));
     if (s.losses > other_losses * penalty_.loss_factor + penalty_.loss_offset) {
+      exclude = true;
+    }
+    if (exclude) {
       s.excluded_until = env_.now() + penalty_.penalty_time;
+      // The evidence has been acted on: judge the path afresh when it
+      // re-enters after penalty_time, instead of letting the stale NACK/loss
+      // history (only slowly decaying while the path carries no traffic)
+      // immediately re-trigger the exclusion — that livelock would retire a
+      // recovered path forever.
+      s.acks = 0;
+      s.nacks = 0;
+      s.losses = 0;
     }
     s.acks *= penalty_.decay;
     s.nacks *= penalty_.decay;

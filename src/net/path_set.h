@@ -1,0 +1,210 @@
+// Shared-route plumbing between the topology's path table and the transports.
+//
+// With interned routes, a route is a per-fabric object shared by every flow
+// on that (src, dst, path) — so it cannot end at a per-flow endpoint.
+// Instead every interned route terminates at the destination host's
+// `flow_demux`, which dispatches arriving packets to the endpoint registered
+// under the packet's flow id.  A `path_set` is the lightweight view a
+// transport borrows at connect time: the multipath route arrays plus the two
+// demuxes where it registers its endpoints.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/route.h"
+
+namespace ndpsim {
+
+/// Per-host terminal sink: dispatches delivered packets to the transport
+/// endpoint bound under the packet's flow id.  Flow ids are dense across the
+/// whole fabric but sparse per host, so the registry is a small flat
+/// open-addressed hash table (linear probing, backward-shift deletion):
+/// O(flows-at-this-host) memory per host — not O(total-flows), which at
+/// k=32 churn scale would cost more than the shared routes save — and one
+/// multiply+probe per delivered packet.
+class flow_demux final : public packet_sink {
+ public:
+  flow_demux() = default;
+
+  void bind(std::uint32_t flow_id, packet_sink* endpoint) {
+    NDPSIM_ASSERT(endpoint != nullptr);
+    if (slots_.empty() || (bound_ + 1) * 2 > slots_.size()) grow();
+    slot& s = find_slot(flow_id);
+    // A silently stolen slot would misdeliver every packet of the first
+    // flow to the second flow's endpoint (same id, so the endpoint's own
+    // flow-id assert cannot catch it); fail loudly instead.  Re-binding the
+    // same endpoint is idempotent (e.g. an acceptor shared by many flows
+    // re-registered per connection).
+    NDPSIM_ASSERT_MSG(s.ep == nullptr || s.ep == endpoint,
+                      "flow " << flow_id
+                              << " already bound to a different endpoint at "
+                                 "this host demux");
+    if (s.ep == nullptr) ++bound_;
+    s.key = flow_id;
+    s.ep = endpoint;
+  }
+
+  void unbind(std::uint32_t flow_id) {
+    if (slots_.empty()) return;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash(flow_id) & mask;
+    while (slots_[i].ep != nullptr && slots_[i].key != flow_id) {
+      i = (i + 1) & mask;
+    }
+    if (slots_[i].ep == nullptr) return;
+    slots_[i].ep = nullptr;
+    --bound_;
+    // Backward-shift the rest of the probe cluster so lookups never need
+    // tombstones.
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask;
+      if (slots_[j].ep == nullptr) break;
+      const std::size_t home = hash(slots_[j].key) & mask;
+      if (((j - home) & mask) >= ((j - i) & mask)) {
+        slots_[i] = slots_[j];
+        slots_[j].ep = nullptr;
+        i = j;
+      }
+    }
+  }
+
+  [[nodiscard]] packet_sink* endpoint_for(std::uint32_t flow_id) const {
+    if (slots_.empty()) return nullptr;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash(flow_id) & mask;
+    while (slots_[i].ep != nullptr) {
+      if (slots_[i].key == flow_id) return slots_[i].ep;
+      i = (i + 1) & mask;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] std::size_t bound_count() const { return bound_; }
+
+  void receive(packet& p) override {
+    packet_sink* ep = endpoint_for(p.flow_id);
+    NDPSIM_ASSERT_MSG(ep != nullptr,
+                      "no endpoint bound for flow " << p.flow_id
+                                                    << " at host demux");
+    ep->receive(p);
+  }
+
+ private:
+  struct slot {
+    std::uint32_t key = 0;
+    packet_sink* ep = nullptr;  ///< nullptr = empty slot
+  };
+
+  [[nodiscard]] static std::size_t hash(std::uint32_t k) {
+    return k * std::size_t{0x9E3779B97F4A7C15ull} >> 32;
+  }
+
+  [[nodiscard]] slot& find_slot(std::uint32_t flow_id) {
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = hash(flow_id) & mask;
+    while (slots_[i].ep != nullptr && slots_[i].key != flow_id) {
+      i = (i + 1) & mask;
+    }
+    return slots_[i];
+  }
+
+  void grow() {
+    std::vector<slot> old = std::move(slots_);
+    slots_.assign(old.empty() ? 16 : old.size() * 2, slot{});
+    for (const slot& s : old) {
+      if (s.ep != nullptr) {
+        slot& dst = find_slot(s.key);
+        dst = s;
+      }
+    }
+  }
+
+  std::vector<slot> slots_;  ///< power-of-two size
+  std::size_t bound_ = 0;
+};
+
+/// Borrowed view of a multipath route set: forward/reverse route arrays
+/// (pointers into path_table- or manual_paths-owned storage; fwd[i] and
+/// rev[i] traverse the same switches in opposite directions) plus the demuxes
+/// at the two ends.  Cheap to copy; the owner must outlive every connection
+/// using it.
+struct path_set {
+  const route* const* fwd = nullptr;
+  const route* const* rev = nullptr;
+  std::uint32_t n = 0;
+  flow_demux* src_demux = nullptr;  ///< terminal of the reverse routes
+  flow_demux* dst_demux = nullptr;  ///< terminal of the forward routes
+
+  [[nodiscard]] std::size_t size() const { return n; }
+  [[nodiscard]] bool empty() const { return n == 0; }
+
+  [[nodiscard]] const route* forward(std::size_t i) const {
+    NDPSIM_ASSERT_MSG(i < n, "path index out of range");
+    return fwd[i];
+  }
+  [[nodiscard]] const route* reverse(std::size_t i) const {
+    NDPSIM_ASSERT_MSG(i < n, "path index out of range");
+    return rev[i];
+  }
+
+  /// Single-path view of path `i` (MPTCP pins one subflow per path).
+  [[nodiscard]] path_set slice(std::size_t i) const {
+    NDPSIM_ASSERT_MSG(i < n, "path index out of range");
+    return path_set{fwd + i, rev + i, 1, src_demux, dst_demux};
+  }
+
+  /// Register the receiving endpoint for `flow_id` (terminal of fwd routes).
+  void bind_dst(std::uint32_t flow_id, packet_sink* endpoint) const {
+    NDPSIM_ASSERT_MSG(dst_demux != nullptr, "path_set has no dst demux");
+    dst_demux->bind(flow_id, endpoint);
+  }
+  /// Register the sending endpoint for `flow_id` (terminal of rev routes).
+  void bind_src(std::uint32_t flow_id, packet_sink* endpoint) const {
+    NDPSIM_ASSERT_MSG(src_demux != nullptr, "path_set has no src demux");
+    src_demux->bind(flow_id, endpoint);
+  }
+  void unbind(std::uint32_t flow_id) const {
+    if (src_demux != nullptr) src_demux->unbind(flow_id);
+    if (dst_demux != nullptr) dst_demux->unbind(flow_id);
+  }
+};
+
+/// Builder for hand-wired path sets (tests, custom setups): owns the routes
+/// and both demuxes.  Hops exclude the endpoints — like interned routes, each
+/// side terminates at the built-in demux, and transports register their
+/// endpoints through the resulting path_set.  Add every path before calling
+/// set(); the builder must outlive the connection.
+class manual_paths {
+ public:
+  /// Append one forward/reverse pair; reverses are linked automatically.
+  void add(std::vector<packet_sink*> fwd_hops,
+           std::vector<packet_sink*> rev_hops) {
+    fwd_hops.push_back(&dst_demux_);
+    rev_hops.push_back(&src_demux_);
+    owned_route& f = routes_.emplace_back(std::move(fwd_hops));
+    owned_route& r = routes_.emplace_back(std::move(rev_hops));
+    f.set_reverse(&r);
+    r.set_reverse(&f);
+    fwd_.push_back(&f);
+    rev_.push_back(&r);
+  }
+
+  [[nodiscard]] path_set set() {
+    return path_set{fwd_.data(), rev_.data(),
+                    static_cast<std::uint32_t>(fwd_.size()), &src_demux_,
+                    &dst_demux_};
+  }
+
+  [[nodiscard]] flow_demux& src_demux() { return src_demux_; }
+  [[nodiscard]] flow_demux& dst_demux() { return dst_demux_; }
+
+ private:
+  std::deque<owned_route> routes_;  // deque: routes are pinned in place
+  std::vector<const route*> fwd_, rev_;
+  flow_demux src_demux_, dst_demux_;
+};
+
+}  // namespace ndpsim

@@ -1,13 +1,30 @@
 // Source routes: explicit sequences of packet sinks.
 //
-// A route alternates queue and pipe elements and ends at a transport endpoint:
-//   [q0, p0, q1, p1, ..., q_{n-1}, p_{n-1}, endpoint]
+// A route alternates queue and pipe elements and ends at a terminal sink (a
+// per-host `flow_demux` for interned fabric routes, or a transport endpoint
+// for hand-built ones):
+//   [q0, p0, q1, p1, ..., q_{n-1}, p_{n-1}, terminal]
 // Queues sit at even indices. Each route may know its reverse (same switches,
 // opposite direction), which lets an NDP switch return a packet to its sender
 // from the middle of the path.
+//
+// `route` itself is a non-owning view: the hop array lives either in the
+// topology's `path_table` arena (interned fabric routes, one contiguous span
+// per route, shared by every flow on that path) or inside an `owned_route`
+// (hand-built wiring in tests and custom setups).
+//
+// Reverse-pointer lifetime contract: `reverse()` is a raw pointer, so the
+// reverse route (and the storage its hops view) must outlive every use of the
+// forward route — in particular packets in flight carry `reverse_rt` for
+// return-to-sender.  Interned routes satisfy this by construction: forward
+// and reverse of a path are interned together into the same arena and neither
+// is ever freed before the table.  Hand-built pairs must keep both sides
+// alive for the duration of the run; `path_table` asserts reciprocity
+// (`fwd->reverse()->reverse() == fwd`) at interning time.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "sim/assert.h"
@@ -26,31 +43,59 @@ class packet_sink {
 class route {
  public:
   route() = default;
-  explicit route(std::vector<packet_sink*> hops) : hops_(std::move(hops)) {}
-
-  void push_back(packet_sink* s) {
-    NDPSIM_ASSERT(s != nullptr);
-    hops_.push_back(s);
+  /// View over externally-owned contiguous hop storage (path_table arena).
+  route(packet_sink* const* hops, std::uint32_t n) : hops_(hops), n_(n) {
+    NDPSIM_ASSERT_MSG(hops != nullptr && n > 0, "route view needs hops");
   }
 
   [[nodiscard]] packet_sink& at(std::size_t i) const {
-    NDPSIM_ASSERT_MSG(i < hops_.size(), "route hop out of range");
+    NDPSIM_ASSERT_MSG(i < n_, "route hop out of range");
     return *hops_[i];
   }
-  [[nodiscard]] std::size_t size() const { return hops_.size(); }
-  [[nodiscard]] bool empty() const { return hops_.empty(); }
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
 
-  /// Number of queue elements (queues at even indices before the endpoint).
-  [[nodiscard]] std::size_t queue_hops() const { return hops_.size() / 2; }
+  /// Number of queue elements (queues at even indices before the terminal).
+  [[nodiscard]] std::size_t queue_hops() const { return n_ / 2; }
 
   /// The reverse route (traverses the same switches back to the source), or
-  /// nullptr if none was registered.
+  /// nullptr if none was registered.  See the lifetime contract above: the
+  /// returned pointer is only valid while the reverse route's owner lives.
   [[nodiscard]] const route* reverse() const { return reverse_; }
   void set_reverse(const route* r) { reverse_ = r; }
 
- private:
-  std::vector<packet_sink*> hops_;
+ protected:
+  packet_sink* const* hops_ = nullptr;
+  std::uint32_t n_ = 0;
   const route* reverse_ = nullptr;
+};
+
+/// A route that owns its hop storage: hand-built wiring in tests, benches and
+/// custom topologies, and the scratch routes `topology::make_route_pair`
+/// returns for the path_table to intern.  Not copyable — the base view points
+/// into this object's vector.
+class owned_route final : public route {
+ public:
+  owned_route() = default;
+  explicit owned_route(std::vector<packet_sink*> hops) { adopt(std::move(hops)); }
+  owned_route(const owned_route&) = delete;
+  owned_route& operator=(const owned_route&) = delete;
+
+  void push_back(packet_sink* s) {
+    NDPSIM_ASSERT(s != nullptr);
+    store_.push_back(s);
+    hops_ = store_.data();
+    n_ = static_cast<std::uint32_t>(store_.size());
+  }
+
+ private:
+  void adopt(std::vector<packet_sink*> hops) {
+    store_ = std::move(hops);
+    hops_ = store_.data();
+    n_ = static_cast<std::uint32_t>(store_.size());
+  }
+
+  std::vector<packet_sink*> store_;
 };
 
 }  // namespace ndpsim

@@ -15,29 +15,26 @@ phost_source::phost_source(sim_env& env, phost_config cfg,
   NDPSIM_ASSERT(cfg_.mss_bytes > kHeaderBytes);
 }
 
-void phost_source::connect(phost_sink& sink,
-                           std::vector<std::unique_ptr<route>> fwd,
-                           std::vector<std::unique_ptr<route>> rev,
+phost_source::~phost_source() {
+  if (sink_ != nullptr) net_paths_.unbind(flow_id_);
+}
+
+void phost_source::connect(phost_sink& sink, path_set paths,
                            std::uint32_t src_host, std::uint32_t dst_host,
                            std::uint64_t flow_bytes, simtime_t start) {
-  NDPSIM_ASSERT(!fwd.empty() && fwd.size() == rev.size());
+  NDPSIM_ASSERT_MSG(!paths.empty(), "need at least one path");
   NDPSIM_ASSERT_MSG(flow_bytes > 0, "phost needs finite flows (RTS size)");
   sink_ = &sink;
-  fwd_routes_ = std::move(fwd);
-  rev_routes_ = std::move(rev);
-  std::vector<const route*> ctrl;
-  for (std::size_t i = 0; i < fwd_routes_.size(); ++i) {
-    fwd_routes_[i]->push_back(sink_);
-    rev_routes_[i]->push_back(this);
-    ctrl.push_back(rev_routes_[i].get());
-  }
-  sink_->bind(std::move(ctrl), dst_host, src_host);
+  net_paths_ = paths;
+  net_paths_.bind_dst(flow_id_, sink_);
+  net_paths_.bind_src(flow_id_, this);
+  sink_->bind(net_paths_, dst_host, src_host);
   src_host_ = src_host;
   dst_host_ = dst_host;
   flow_bytes_ = flow_bytes;
   const std::uint32_t ppp = cfg_.mss_bytes - kHeaderBytes;
   total_packets_ = (flow_bytes + ppp - 1) / ppp;
-  paths_ = std::make_unique<path_selector>(env_, fwd_routes_.size(),
+  paths_ = std::make_unique<path_selector>(env_, net_paths_.size(),
                                            path_mode::random_per_packet,
                                            path_penalty_config{.enabled = false});
   start_time_ = start;
@@ -56,7 +53,7 @@ void phost_source::do_next_event() {
   rts->dst = dst_host_;
   rts->size_bytes = kHeaderBytes;
   rts->pullno = total_packets_;  // flow size in packets
-  rts->rt = fwd_routes_[paths_->next()].get();
+  rts->rt = net_paths_.forward(paths_->next());
   rts->next_hop = 0;
   send_to_next_hop(*rts);
   // Free-token first-RTT burst.
@@ -83,7 +80,7 @@ void phost_source::send_data(std::uint64_t seqno) {
   p->payload_bytes = payload_for(seqno);
   p->size_bytes = p->payload_bytes + kHeaderBytes;
   if (seqno == total_packets_) p->set_flag(pkt_flag::last);
-  p->rt = fwd_routes_[paths_->next()].get();
+  p->rt = net_paths_.forward(paths_->next());
   p->next_hop = 0;
   ++packets_sent_;
   send_to_next_hop(*p);
@@ -166,9 +163,10 @@ phost_sink::phost_sink(sim_env& env, phost_token_pacer& pacer,
                        phost_config cfg, std::uint32_t flow_id)
     : env_(env), pacer_(pacer), cfg_(cfg), flow_id_(flow_id) {}
 
-void phost_sink::bind(std::vector<const route*> ctrl_routes,
-                      std::uint32_t local_host, std::uint32_t remote_host) {
-  ctrl_routes_ = std::move(ctrl_routes);
+void phost_sink::bind(path_set paths, std::uint32_t local_host,
+                      std::uint32_t remote_host) {
+  NDPSIM_ASSERT_MSG(!paths.empty(), "sink needs at least one ctrl route");
+  paths_ = paths;
   local_host_ = local_host;
   remote_host_ = remote_host;
 }
@@ -204,7 +202,7 @@ void phost_sink::issue_token() {
   // fetch new data and the hint would cause duplicate storms.
   const bool recovering = env_.now() - last_arrival_ > cfg_.token_timeout;
   t->seqno = recovering && cum_ + 1 <= total_packets_ ? cum_ + 1 : 0;
-  t->rt = ctrl_routes_[env_.rand_below(ctrl_routes_.size())];
+  t->rt = paths_.reverse(env_.rand_below(paths_.size()));
   t->next_hop = 0;
   send_to_next_hop(*t);
 }

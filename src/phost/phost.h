@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "net/path_set.h"
 #include "net/route.h"
 #include "net/sim_env.h"
 #include "ndp/path_selector.h"
@@ -43,9 +44,10 @@ class phost_source final : public packet_sink, public event_source {
  public:
   phost_source(sim_env& env, phost_config cfg, std::uint32_t flow_id,
                std::string name = "phostsrc");
+  ~phost_source() override;
 
-  void connect(phost_sink& sink, std::vector<std::unique_ptr<route>> fwd,
-               std::vector<std::unique_ptr<route>> rev, std::uint32_t src_host,
+  /// Wire up over a borrowed multipath set (data is sprayed per packet).
+  void connect(phost_sink& sink, path_set paths, std::uint32_t src_host,
                std::uint32_t dst_host, std::uint64_t flow_bytes,
                simtime_t start);
 
@@ -63,8 +65,7 @@ class phost_source final : public packet_sink, public event_source {
   phost_config cfg_;
   std::uint32_t flow_id_;
   phost_sink* sink_ = nullptr;
-  std::vector<std::unique_ptr<route>> fwd_routes_;
-  std::vector<std::unique_ptr<route>> rev_routes_;
+  path_set net_paths_;  ///< borrowed; the path owner outlives us
   std::unique_ptr<path_selector> paths_;
   std::uint32_t src_host_ = 0;
   std::uint32_t dst_host_ = 0;
@@ -104,7 +105,8 @@ class phost_sink final : public packet_sink {
   phost_sink(sim_env& env, phost_token_pacer& pacer, phost_config cfg,
              std::uint32_t flow_id);
 
-  void bind(std::vector<const route*> ctrl_routes, std::uint32_t local_host,
+  /// Bind the path set whose reverse routes carry tokens to the sender.
+  void bind(path_set paths, std::uint32_t local_host,
             std::uint32_t remote_host);
 
   void receive(packet& p) override;  // RTS + data
@@ -132,7 +134,7 @@ class phost_sink final : public packet_sink {
   phost_token_pacer& pacer_;
   phost_config cfg_;
   std::uint32_t flow_id_;
-  std::vector<const route*> ctrl_routes_;
+  path_set paths_;  ///< tokens ride paths_.reverse(i)
   std::uint32_t local_host_ = 0;
   std::uint32_t remote_host_ = 0;
 

@@ -21,20 +21,21 @@ tcp_source::tcp_source(sim_env& env, tcp_config cfg, std::uint32_t flow_id,
   rto_ = std::max(cfg_.min_rto, srtt_ + 4 * rttvar_);
 }
 
-tcp_source::~tcp_source() = default;
+tcp_source::~tcp_source() {
+  if (sink_ != nullptr) paths_.unbind(flow_id_);
+}
 
-void tcp_source::connect(tcp_sink& sink, std::unique_ptr<route> fwd,
-                         std::unique_ptr<route> rev, std::uint32_t src_host,
-                         std::uint32_t dst_host, std::uint64_t flow_bytes,
-                         simtime_t start) {
+void tcp_source::connect(tcp_sink& sink, path_set paths,
+                         std::uint32_t src_host, std::uint32_t dst_host,
+                         std::uint64_t flow_bytes, simtime_t start) {
+  NDPSIM_ASSERT_MSG(!paths.empty(), "need at least one path");
   sink_ = &sink;
-  fwd_route_ = std::move(fwd);
-  rev_route_ = std::move(rev);
-  fwd_route_->push_back(sink_);
-  rev_route_->push_back(this);
-  fwd_route_->set_reverse(rev_route_.get());
-  rev_route_->set_reverse(fwd_route_.get());
-  sink_->bind(rev_route_.get(), dst_host, src_host);
+  paths_ = paths;
+  fwd_route_ = paths_.forward(0);
+  rev_route_ = paths_.reverse(0);
+  paths_.bind_dst(flow_id_, sink_);
+  paths_.bind_src(flow_id_, this);
+  sink_->bind(rev_route_, dst_host, src_host);
   src_host_ = src_host;
   dst_host_ = dst_host;
   flow_bytes_ = flow_bytes;
@@ -87,7 +88,7 @@ void tcp_source::send_syn() {
   p->size_bytes = kHeaderBytes;
   p->payload_bytes = 0;
   p->set_flag(pkt_flag::syn);
-  p->rt = fwd_route_.get();
+  p->rt = fwd_route_;
   p->next_hop = 0;
   syn_outstanding_ = true;
   ++stats_.packets_sent;
@@ -140,7 +141,7 @@ void tcp_source::send_segment(std::uint64_t start, std::uint32_t len,
   p->size_bytes = len + kHeaderBytes;
   if (cfg_.ecn) p->set_flag(pkt_flag::ect);
   if (is_rtx) p->set_flag(pkt_flag::rtx);
-  p->rt = fwd_route_.get();
+  p->rt = fwd_route_;
   p->next_hop = 0;
 
   auto [it, inserted] = segments_.try_emplace(start);

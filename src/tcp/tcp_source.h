@@ -13,6 +13,7 @@
 #include <memory>
 
 #include "net/packet.h"
+#include "net/path_set.h"
 #include "net/route.h"
 #include "net/sim_env.h"
 #include "sim/eventlist.h"
@@ -45,10 +46,10 @@ class tcp_source : public packet_sink, public event_source {
              std::string name = "tcpsrc");
   ~tcp_source() override;
 
-  /// Wire up over a single path. Appends endpoints to the routes.
+  /// Wire up over a borrowed path set; single path (per-flow ECMP), so path
+  /// 0 of the set is used. Registers the endpoints with the set's demuxes.
   /// `flow_bytes == 0` means unbounded.
-  void connect(tcp_sink& sink, std::unique_ptr<route> fwd,
-               std::unique_ptr<route> rev, std::uint32_t src_host,
+  void connect(tcp_sink& sink, path_set paths, std::uint32_t src_host,
                std::uint32_t dst_host, std::uint64_t flow_bytes,
                simtime_t start);
 
@@ -113,8 +114,9 @@ class tcp_source : public packet_sink, public event_source {
 
   std::uint32_t flow_id_;
   tcp_sink* sink_ = nullptr;
-  std::unique_ptr<route> fwd_route_;
-  std::unique_ptr<route> rev_route_;
+  path_set paths_;  ///< borrowed; path 0 is the flow's route pair
+  const route* fwd_route_ = nullptr;
+  const route* rev_route_ = nullptr;
   std::uint32_t src_host_ = 0;
   std::uint32_t dst_host_ = 0;
 

@@ -105,7 +105,7 @@ fat_tree::link fat_tree::make_link(link_level level, std::size_t index,
   return l;
 }
 
-void fat_tree::append_link(route& r, const link& l) const {
+void fat_tree::append_link(owned_route& r, const link& l) const {
   r.push_back(l.q.get());
   r.push_back(l.p.get());
   if (l.ingress != nullptr) r.push_back(l.ingress.get());
@@ -122,8 +122,8 @@ route_pair fat_tree::make_route_pair(std::uint32_t src, std::uint32_t dst,
                                      std::size_t path) {
   NDPSIM_ASSERT(path < n_paths(src, dst));
   auto build = [this](std::uint32_t a, std::uint32_t b,
-                      std::size_t path_idx) -> std::unique_ptr<route> {
-    auto r = std::make_unique<route>();
+                      std::size_t path_idx) -> std::unique_ptr<owned_route> {
+    auto r = std::make_unique<owned_route>();
     const std::uint32_t ta = tor_of(a);
     const std::uint32_t tb = tor_of(b);
     const unsigned lb = b % hosts_per_tor_;

@@ -94,7 +94,7 @@ class fat_tree final : public topology {
 
   link make_link(link_level level, std::size_t index, const std::string& name,
                  const queue_factory& make_queue, bool ingress_at_far_end);
-  void append_link(route& r, const link& l) const;
+  void append_link(owned_route& r, const link& l) const;
 
   sim_env& env_;
   fat_tree_config cfg_;

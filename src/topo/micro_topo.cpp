@@ -21,7 +21,7 @@ route_pair back_to_back::make_route_pair(std::uint32_t src, std::uint32_t dst,
                                          std::size_t path) {
   NDPSIM_ASSERT(src < 2 && dst < 2 && src != dst && path == 0);
   auto build = [this](std::uint32_t a) {
-    auto r = std::make_unique<route>();
+    auto r = std::make_unique<owned_route>();
     r->push_back(nic_q_[a].get());
     r->push_back(nic_p_[a].get());
     return r;
@@ -52,7 +52,7 @@ route_pair single_switch::make_route_pair(std::uint32_t src, std::uint32_t dst,
                                           std::size_t path) {
   NDPSIM_ASSERT(src < n_hosts() && dst < n_hosts() && src != dst && path == 0);
   auto build = [this](std::uint32_t a, std::uint32_t b) {
-    auto r = std::make_unique<route>();
+    auto r = std::make_unique<owned_route>();
     r->push_back(nic_q_[a].get());
     r->push_back(nic_p_[a].get());
     r->push_back(sw_q_[b].get());
@@ -123,7 +123,7 @@ route_pair leaf_spine::make_route_pair(std::uint32_t src, std::uint32_t dst,
                                        std::size_t path) {
   NDPSIM_ASSERT(path < n_paths(src, dst));
   auto build = [this](std::uint32_t a, std::uint32_t b, std::size_t spine) {
-    auto r = std::make_unique<route>();
+    auto r = std::make_unique<owned_route>();
     const std::uint32_t la = leaf_of(a);
     const std::uint32_t lb = leaf_of(b);
     const std::size_t local_b = b % hosts_per_leaf_;

@@ -1,0 +1,163 @@
+#include "topo/path_table.h"
+
+#include <algorithm>
+
+#include "topo/topology.h"
+
+namespace ndpsim {
+
+// topology's out-of-line members live here so topology.h only needs a
+// forward declaration of path_table.
+topology::topology() = default;
+topology::~topology() = default;
+
+path_table& topology::paths() {
+  if (paths_ == nullptr) paths_ = std::make_unique<path_table>(*this);
+  return *paths_;
+}
+
+namespace {
+[[nodiscard]] std::uint64_t pair_key(std::uint32_t src, std::uint32_t dst) {
+  return (static_cast<std::uint64_t>(src) << 32) | dst;
+}
+constexpr std::size_t kBlockHops = 4096;
+}  // namespace
+
+path_table::path_table(topology& topo) : topo_(topo) {
+  demux_.resize(topo_.n_hosts());
+}
+
+flow_demux& path_table::demux(std::uint32_t host) {
+  NDPSIM_ASSERT_MSG(host < demux_.size(), "host out of range");
+  if (demux_[host] == nullptr) demux_[host] = std::make_unique<flow_demux>();
+  return *demux_[host];
+}
+
+packet_sink** path_table::alloc_hops(std::size_t n) {
+  if (block_used_ + n > block_cap_) {
+    block_cap_ = std::max(kBlockHops, n);
+    block_used_ = 0;
+    blocks_.push_back(std::make_unique<packet_sink*[]>(block_cap_));
+  }
+  packet_sink** span = blocks_.back().get() + block_used_;
+  block_used_ += n;
+  hops_total_ += n;
+  return span;
+}
+
+route* path_table::intern_route(const route& built, flow_demux* terminal) {
+  const std::size_t n = built.size() + 1;  // + demux terminal
+  packet_sink** span = alloc_hops(n);
+  for (std::size_t i = 0; i < built.size(); ++i) span[i] = &built.at(i);
+  span[n - 1] = terminal;
+  routes_.emplace_back(span, static_cast<std::uint32_t>(n));
+  return &routes_.back();
+}
+
+path_table::pair_entry& path_table::entry_for(std::uint32_t src,
+                                              std::uint32_t dst) {
+  auto [it, fresh] = pairs_.try_emplace(pair_key(src, dst));
+  if (fresh) {
+    const std::size_t n = topo_.n_paths(src, dst);
+    NDPSIM_ASSERT_MSG(n > 0, "pair has no paths");
+    it->second.fwd.assign(n, nullptr);
+    it->second.rev.assign(n, nullptr);
+  }
+  return it->second;
+}
+
+void path_table::ensure_path(pair_entry& e, std::uint32_t src,
+                             std::uint32_t dst, std::size_t path) {
+  NDPSIM_ASSERT_MSG(path < e.fwd.size(), "path index out of range");
+  if (e.fwd[path] != nullptr) return;
+  auto [f, r] = topo_.make_route_pair(src, dst, path);
+  NDPSIM_ASSERT_MSG(f != nullptr && r != nullptr && !f->empty() && !r->empty(),
+                    "topology built an empty route");
+  route* fi = intern_route(*f, &demux(dst));
+  route* ri = intern_route(*r, &demux(src));
+  fi->set_reverse(ri);
+  ri->set_reverse(fi);
+  // The reverse-pointer lifetime contract (net/route.h): both directions are
+  // co-interned and reciprocal, so neither can dangle while the table lives.
+  NDPSIM_ASSERT(fi->reverse()->reverse() == fi);
+  NDPSIM_ASSERT(ri->reverse()->reverse() == ri);
+  e.fwd[path] = fi;
+  e.rev[path] = ri;
+  ++e.built;
+  ++interned_;
+}
+
+path_set path_table::all(std::uint32_t src, std::uint32_t dst) {
+  pair_entry& e = entry_for(src, dst);
+  if (e.built < e.fwd.size()) {
+    for (std::size_t p = 0; p < e.fwd.size(); ++p) ensure_path(e, src, dst, p);
+  }
+  return path_set{e.fwd.data(), e.rev.data(),
+                  static_cast<std::uint32_t>(e.fwd.size()), &demux(src),
+                  &demux(dst)};
+}
+
+path_set path_table::sample(sim_env& env, std::uint32_t src, std::uint32_t dst,
+                            std::size_t max_paths) {
+  pair_entry& e = entry_for(src, dst);
+  const std::size_t n = e.fwd.size();
+  if (max_paths == 0 || max_paths >= n) return all(src, dst);
+
+  // Seeded random subset without replacement (partial Fisher-Yates): taking
+  // the first `max_paths` indices instead would always prefer the low
+  // core/agg switches and pile every capped flow onto them.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < max_paths; ++i) {
+    const std::size_t j = i + env.rand_below(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+
+  auto& [sf, sr] = subsets_.emplace_back();
+  sf.reserve(max_paths);
+  sr.reserve(max_paths);
+  for (std::size_t i = 0; i < max_paths; ++i) {
+    ensure_path(e, src, dst, idx[i]);
+    sf.push_back(e.fwd[idx[i]]);
+    sr.push_back(e.rev[idx[i]]);
+  }
+  return path_set{sf.data(), sr.data(), static_cast<std::uint32_t>(max_paths),
+                  &demux(src), &demux(dst)};
+}
+
+path_set path_table::single(std::uint32_t src, std::uint32_t dst,
+                            std::size_t path) {
+  pair_entry& e = entry_for(src, dst);
+  ensure_path(e, src, dst, path);
+  return path_set{e.fwd.data() + path, e.rev.data() + path, 1, &demux(src),
+                  &demux(dst)};
+}
+
+const route* path_table::forward(std::uint32_t src, std::uint32_t dst,
+                                 std::size_t path) {
+  pair_entry& e = entry_for(src, dst);
+  ensure_path(e, src, dst, path);
+  return e.fwd[path];
+}
+
+const route* path_table::reverse(std::uint32_t src, std::uint32_t dst,
+                                 std::size_t path) {
+  pair_entry& e = entry_for(src, dst);
+  ensure_path(e, src, dst, path);
+  return e.rev[path];
+}
+
+std::size_t path_table::resident_bytes() const {
+  std::size_t bytes = hops_total_ * sizeof(packet_sink*) +
+                      routes_.size() * sizeof(route);
+  for (const auto& [key, e] : pairs_) {
+    (void)key;
+    bytes += (e.fwd.capacity() + e.rev.capacity()) * sizeof(const route*);
+  }
+  for (const auto& [sf, sr] : subsets_) {
+    bytes += (sf.capacity() + sr.capacity()) * sizeof(const route*);
+  }
+  return bytes;
+}
+
+}  // namespace ndpsim

@@ -1,0 +1,111 @@
+// Topology-owned interned path table (the FatPaths idea: multipath route
+// sets are per-pair fabric properties, not per-flow state).
+//
+// Each distinct (src, dst, path) route is built exactly once — lazily, on
+// first use — and shared by every flow on that pair: two flows on the same
+// (src, dst) receive pointer-identical `const route*`s.  Hops live in one
+// chunked arena (a contiguous span per route, no per-route heap vector), and
+// every route terminates at the destination host's `flow_demux`, where
+// transports register their per-flow endpoints at connect time.  Route
+// memory is therefore O(pairs-used x paths) for the whole fabric instead of
+// O(flows x paths x hops).
+//
+// Forward and reverse of a path are interned together: both live in the same
+// arena and neither is freed before the table, which is what makes the raw
+// `route::reverse()` pointer safe (see the lifetime contract in net/route.h).
+// Reciprocity (`fwd->reverse()->reverse() == fwd`) is asserted at interning
+// time.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/path_set.h"
+#include "net/sim_env.h"
+
+namespace ndpsim {
+
+class topology;
+
+class path_table {
+ public:
+  explicit path_table(topology& topo);
+  path_table(const path_table&) = delete;
+  path_table& operator=(const path_table&) = delete;
+
+  /// All n_paths(src, dst) routes of a pair, interning any not yet built.
+  /// The returned view is cached: every caller gets the same arrays.
+  [[nodiscard]] path_set all(std::uint32_t src, std::uint32_t dst);
+
+  /// Up to `max_paths` routes of a pair (all if 0 or >= n_paths).  When a
+  /// subset is taken it is a seeded random subset drawn via
+  /// `env.rand_below` — not the first `max_paths` indices, which would bias
+  /// every flow onto the low core/agg switches.  Distinct calls can return
+  /// distinct subsets (each draw advances the env's RNG); only the sampled
+  /// paths are interned.
+  [[nodiscard]] path_set sample(sim_env& env, std::uint32_t src,
+                                std::uint32_t dst, std::size_t max_paths);
+
+  /// Single-path view (per-flow-ECMP transports: TCP, DCQCN).
+  [[nodiscard]] path_set single(std::uint32_t src, std::uint32_t dst,
+                                std::size_t path);
+
+  /// The interned route for one path (forward / reverse direction).
+  [[nodiscard]] const route* forward(std::uint32_t src, std::uint32_t dst,
+                                     std::size_t path);
+  [[nodiscard]] const route* reverse(std::uint32_t src, std::uint32_t dst,
+                                     std::size_t path);
+
+  /// Per-host terminal demux (endpoint registry).
+  [[nodiscard]] flow_demux& demux(std::uint32_t host);
+
+  // --- introspection (tests, benches) -----------------------------------
+  /// Distinct (src, dst, path) routes interned so far (forward + reverse
+  /// count as one path).
+  [[nodiscard]] std::size_t interned_paths() const { return interned_; }
+  /// Resident bytes of shared route state: hop arena + route objects +
+  /// pair/subset pointer arrays.
+  [[nodiscard]] std::size_t resident_bytes() const;
+
+ private:
+  struct pair_entry {
+    // Interned routes by path index (nullptr until built).  The vectors are
+    // sized once at entry creation so handed-out views stay stable.
+    std::vector<const route*> fwd, rev;
+    std::size_t built = 0;
+  };
+
+  [[nodiscard]] pair_entry& entry_for(std::uint32_t src, std::uint32_t dst);
+  void ensure_path(pair_entry& e, std::uint32_t src, std::uint32_t dst,
+                   std::size_t path);
+  [[nodiscard]] route* intern_route(const route& built, flow_demux* terminal);
+  [[nodiscard]] packet_sink** alloc_hops(std::size_t n);
+
+  topology& topo_;
+  std::unordered_map<std::uint64_t, pair_entry> pairs_;
+  std::deque<route> routes_;  // deque: handed-out route*s are pinned
+
+  // Chunked hop arena: bump allocation, one contiguous span per route.
+  std::vector<std::unique_ptr<packet_sink*[]>> blocks_;
+  std::size_t block_used_ = 0;
+  std::size_t block_cap_ = 0;
+  std::size_t hops_total_ = 0;
+
+  // Per-sample subset pointer arrays (deque: views stay valid as flows add
+  // more subsets).  Retained for the table's lifetime — ~2 x max_paths
+  // pointers per capped-multipath connect, which matches the harness's
+  // current lifecycle (flow_factory never frees flows, and each live flow's
+  // transport state dwarfs its subset array).  Reclaiming them belongs to
+  // the flow-teardown work item in ROADMAP.md.
+  std::deque<std::pair<std::vector<const route*>, std::vector<const route*>>>
+      subsets_;
+
+  std::vector<std::unique_ptr<flow_demux>> demux_;  // [host], lazy
+  std::size_t interned_ = 0;
+};
+
+}  // namespace ndpsim

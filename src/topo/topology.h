@@ -1,10 +1,14 @@
 // Topology abstraction: anything that can enumerate multipath source routes
 // between hosts.
 //
-// Routes are endpoint-less (they stop after the final pipe); transports append
-// their endpoints via `connect`.  Forward/reverse pairs with the same path
-// index traverse the same switches in opposite directions, which NDP's
-// return-to-sender relies on.
+// `make_route_pair` builds one endpoint-less route pair (it stops after the
+// final pipe) and is the raw structural builder — tests and the path table
+// use it.  Flows never call it directly any more: they borrow shared routes
+// from the topology-owned `path_table` (see `paths()`), which interns each
+// distinct (src, dst, path) route exactly once, appends the per-host
+// `flow_demux` terminal, and stores hops in one contiguous arena.
+// Forward/reverse pairs with the same path index traverse the same switches
+// in opposite directions, which NDP's return-to-sender relies on.
 #pragma once
 
 #include <functional>
@@ -16,6 +20,8 @@
 #include "net/route.h"
 
 namespace ndpsim {
+
+class path_table;
 
 /// Where a queue sits in the topology (used for per-level statistics, e.g.
 /// counting trims on core uplinks, and for queue-type selection).
@@ -47,12 +53,17 @@ using queue_factory =
                                               linkspeed_bps rate,
                                               const std::string& name)>;
 
-/// Route pair: {forward, reverse}, both endpoint-less.
-using route_pair = std::pair<std::unique_ptr<route>, std::unique_ptr<route>>;
+/// Route pair: {forward, reverse}, both endpoint-less and self-owning
+/// (scratch output of the builder; the path table copies hops into its arena).
+using route_pair =
+    std::pair<std::unique_ptr<owned_route>, std::unique_ptr<owned_route>>;
 
 class topology {
  public:
-  virtual ~topology() = default;
+  topology();
+  virtual ~topology();
+  topology(const topology&) = delete;
+  topology& operator=(const topology&) = delete;
 
   [[nodiscard]] virtual std::size_t n_hosts() const = 0;
   /// Number of distinct paths from `src` to `dst`.
@@ -65,19 +76,13 @@ class topology {
   [[nodiscard]] virtual linkspeed_bps host_link_speed(
       std::uint32_t host) const = 0;
 
-  /// Build all (or up to `max_paths`) route pairs for a host pair.
-  void make_routes(std::uint32_t src, std::uint32_t dst,
-                   std::vector<std::unique_ptr<route>>& fwd,
-                   std::vector<std::unique_ptr<route>>& rev,
-                   std::size_t max_paths = 0) {
-    std::size_t n = n_paths(src, dst);
-    if (max_paths != 0 && max_paths < n) n = max_paths;
-    for (std::size_t i = 0; i < n; ++i) {
-      auto [f, r] = make_route_pair(src, dst, i);
-      fwd.push_back(std::move(f));
-      rev.push_back(std::move(r));
-    }
-  }
+  /// The interned path table: shared routes for every flow on this fabric.
+  /// Built lazily; lives (and keeps every handed-out route alive) as long as
+  /// the topology.
+  [[nodiscard]] path_table& paths();
+
+ private:
+  std::unique_ptr<path_table> paths_;
 };
 
 }  // namespace ndpsim

@@ -16,9 +16,16 @@ cbr_source::cbr_source(sim_env& env, linkspeed_bps rate,
   NDPSIM_ASSERT(jitter_frac_ >= 0.0 && jitter_frac_ < 1.0);
 }
 
-void cbr_source::start(std::unique_ptr<route> rt, std::uint32_t src,
+cbr_source::~cbr_source() {
+  if (dst_demux_ != nullptr) dst_demux_->unbind(flow_id_);
+}
+
+void cbr_source::start(path_set paths, packet_sink* rx, std::uint32_t src,
                        std::uint32_t dst, simtime_t start_at) {
-  route_ = std::move(rt);
+  NDPSIM_ASSERT_MSG(!paths.empty(), "need at least one path");
+  route_ = paths.forward(0);
+  paths.bind_dst(flow_id_, rx);
+  dst_demux_ = paths.dst_demux;
   src_ = src;
   dst_ = dst;
   timer_ = events().schedule_at(*this, start_at);
@@ -33,7 +40,7 @@ void cbr_source::do_next_event() {
   p->seqno = ++seq_;
   p->size_bytes = mss_bytes_;
   p->payload_bytes = mss_bytes_ - kHeaderBytes;
-  p->rt = route_.get();
+  p->rt = route_;
   p->next_hop = 0;
   ++sent_;
   send_to_next_hop(*p);

@@ -8,6 +8,7 @@
 #include <memory>
 
 #include "net/packet.h"
+#include "net/path_set.h"
 #include "net/route.h"
 #include "net/sim_env.h"
 #include "sim/eventlist.h"
@@ -48,10 +49,14 @@ class cbr_source final : public event_source {
   cbr_source(sim_env& env, linkspeed_bps rate, std::uint32_t mss_bytes,
              std::uint32_t flow_id, double jitter_frac = 0.0,
              std::string name = "cbr");
+  ~cbr_source() override;
 
-  /// Send forever from `start`, at `rate`, over `rt` (endpoint included).
-  void start(std::unique_ptr<route> rt, std::uint32_t src, std::uint32_t dst,
-             simtime_t start_at);
+  /// Send forever from `start_at`, at `rate`, over path 0 of the borrowed
+  /// set. `rx` is registered at the destination demux as this flow's
+  /// receiving endpoint (CBR is unidirectional — nothing binds at the
+  /// source).
+  void start(path_set paths, packet_sink* rx, std::uint32_t src,
+             std::uint32_t dst, simtime_t start_at);
 
   void do_next_event() override;
 
@@ -67,7 +72,8 @@ class cbr_source final : public event_source {
   std::uint32_t mss_bytes_;
   std::uint32_t flow_id_;
   double jitter_frac_;
-  std::unique_ptr<route> route_;
+  const route* route_ = nullptr;  ///< borrowed; the path owner outlives us
+  flow_demux* dst_demux_ = nullptr;  ///< where rx was bound (for unbind)
   std::uint32_t src_ = 0;
   std::uint32_t dst_ = 0;
   std::uint64_t seq_ = 0;

@@ -33,8 +33,8 @@ TEST_P(bounce_math, header_returns_to_source_endpoint) {
   ndp_queue_config jammed;
   jammed.data_capacity_bytes = 64 * 9000;
   jammed.header_capacity_bytes = 1;  // nothing fits: every header bounces
-  auto fwd = std::make_unique<route>();
-  auto rev = std::make_unique<route>();
+  auto fwd = std::make_unique<owned_route>();
+  auto rev = std::make_unique<owned_route>();
   for (int i = 0; i < n; ++i) {
     fq[i] = std::make_unique<ndp_queue>(env, gbps(10),
                                         i == t ? jammed : roomy,

@@ -10,6 +10,7 @@
 #include "tcp/tcp_sink.h"
 #include "tcp/tcp_source.h"
 #include "topo/micro_topo.h"
+#include "topo/path_table.h"
 #include "test_util.h"
 
 namespace ndpsim {
@@ -31,7 +32,7 @@ TEST(coexist_queue, classifies_by_protocol) {
   recording_sink sink(env);
   coexist_queue q(env, gbps(10), small_cfg());
   q.set_paused(true);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   packet* t = env.pool.alloc();
@@ -55,7 +56,7 @@ TEST(coexist_queue, ndp_side_still_trims) {
   cfg.ndp.data_capacity_bytes = 9000;  // one packet
   coexist_queue q(env, gbps(10), cfg);
   q.set_paused(true);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   for (std::uint64_t i = 1; i <= 3; ++i) send_to_next_hop(*make_data(env, &r, 9000, i));
@@ -72,7 +73,7 @@ TEST(coexist_queue, tcp_side_still_drops) {
   cfg.tcp_capacity_bytes = 2 * 9000;
   coexist_queue q(env, gbps(10), cfg);
   q.set_paused(true);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   for (std::uint64_t i = 1; i <= 4; ++i) {
@@ -96,7 +97,7 @@ TEST(coexist_queue, drr_shares_bytes_evenly_under_backlog) {
   recording_sink sink(env);
   coexist_queue q(env, gbps(10), small_cfg());
   q.set_paused(true);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   // Backlog both classes; the NDP side can hold 8, the TCP side many more.
@@ -144,20 +145,13 @@ TEST(coexist_integration, tcp_and_ndp_flows_share_a_port_fairly) {
   pull_pacer pacer(env, gbps(10));
   ndp_source nsrc(env, {}, 1);
   ndp_sink nsnk(env, pacer, {}, 1);
-  {
-    std::vector<std::unique_ptr<route>> fwd, rev;
-    star.make_routes(0, 2, fwd, rev);
-    nsrc.connect(nsnk, std::move(fwd), std::move(rev), 0, 2, 0, 0);
-  }
+  nsrc.connect(nsnk, star.paths().all(0, 2), 0, 2, 0, 0);
   tcp_config tc;
   tc.handshake = false;
   tc.min_rto = from_ms(5);
   tcp_source tsrc(env, tc, 2);
   tcp_sink tsnk(env, 2);
-  {
-    auto [f, r] = star.make_route_pair(1, 2, 0);
-    tsrc.connect(tsnk, std::move(f), std::move(r), 1, 2, 0, 0);
-  }
+  tsrc.connect(tsnk, star.paths().single(1, 2, 0), 1, 2, 0, 0);
 
   env.events.run_until(from_ms(10));
   const std::uint64_t n0 = nsnk.payload_received();

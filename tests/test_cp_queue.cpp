@@ -14,7 +14,7 @@ TEST(cp_queue, trims_arriving_packet_when_full) {
   recording_sink sink(env);
   cp_queue q(env, gbps(10), 2 * 9000);
   q.set_paused(true);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   for (std::uint64_t i = 1; i <= 4; ++i) send_to_next_hop(*make_data(env, &r, 9000, i));
@@ -38,7 +38,7 @@ TEST(cp_queue, headers_always_admitted) {
   recording_sink sink(env);
   cp_queue q(env, gbps(10), 9000);  // one data packet of buffer
   q.set_paused(true);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   // One data packet fills the data budget; every further arrival trims to a
@@ -60,7 +60,7 @@ TEST(cp_queue, under_overload_headers_eat_goodput) {
   sim_env env;
   recording_sink sink(env);
   cp_queue q(env, gbps(10), 8 * 9000);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   // Offer 3 packets per 7.2us slot for 2000 slots.

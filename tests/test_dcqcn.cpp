@@ -5,6 +5,7 @@
 #include "net/fifo_queues.h"
 #include "net/lossless.h"
 #include "topo/micro_topo.h"
+#include "topo/path_table.h"
 
 namespace ndpsim {
 namespace {
@@ -27,8 +28,7 @@ struct qconn {
   qconn(sim_env& env, topology& topo, std::uint32_t s, std::uint32_t d,
         std::uint64_t bytes, std::uint32_t fid, dcqcn_config cfg = {})
       : source(env, cfg, fid), sink(env, fid) {
-    auto [fwd, rev] = topo.make_route_pair(s, d, 0);
-    source.connect(sink, std::move(fwd), std::move(rev), s, d, bytes, 0);
+    source.connect(sink, topo.paths().single(s, d, 0), s, d, bytes, 0);
   }
   dcqcn_source source;
   dcqcn_sink sink;

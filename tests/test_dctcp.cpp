@@ -4,6 +4,7 @@
 #include "net/fifo_queues.h"
 #include "tcp/tcp_sink.h"
 #include "topo/micro_topo.h"
+#include "topo/path_table.h"
 
 namespace ndpsim {
 namespace {
@@ -27,8 +28,7 @@ struct dconn {
       : source(env, [&] { cfg.handshake = false; return cfg; }(),
                dctcp_config{}, fid),
         sink(env, fid) {
-    auto [fwd, rev] = topo.make_route_pair(s, d, 0);
-    source.connect(sink, std::move(fwd), std::move(rev), s, d, bytes, 0);
+    source.connect(sink, topo.paths().single(s, d, 0), s, d, bytes, 0);
   }
   dctcp_source source;
   tcp_sink sink;

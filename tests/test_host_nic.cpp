@@ -20,7 +20,7 @@ TEST(host_nic, unbounded_by_default) {
   sim_env env;
   recording_sink sink(env);
   host_priority_queue q(env, gbps(10));
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   for (std::uint64_t i = 1; i <= 500; ++i) send_to_next_hop(*make_data(env, &r, 9000, i));
@@ -33,7 +33,7 @@ TEST(host_nic, data_cap_drops_excess_data) {
   sim_env env;
   recording_sink sink(env);
   host_priority_queue q(env, gbps(10), "nic", 3 * 9000);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   // 1 in service + 3 buffered; the rest dropped.
@@ -49,7 +49,7 @@ TEST(host_nic, control_ignores_the_data_cap) {
   recording_sink sink(env);
   host_priority_queue q(env, gbps(10), "nic", 9000);
   q.set_paused(true);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   send_to_next_hop(*make_data(env, &r, 9000, 1));  // fills the data budget
@@ -72,7 +72,7 @@ TEST(host_nic, cap_accounts_data_only) {
   recording_sink sink(env);
   host_priority_queue q(env, gbps(10), "nic", 2 * 9000);
   q.set_paused(true);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   // Control backlog must not eat the data budget.

@@ -36,7 +36,7 @@ struct pfc_chain {
   pipe wire_down;
   recording_sink sink;
   pfc_ingress ingress;
-  route rt;
+  owned_route rt;
 };
 
 TEST(pfc, no_pause_below_xoff) {
@@ -103,7 +103,7 @@ TEST(pfc, head_of_line_blocking_hits_innocent_traffic) {
   ASSERT_TRUE(c.nic.paused());
   // An "innocent" packet through the same NIC is now stuck behind the pause.
   recording_sink other(env);
-  route r2;
+  owned_route r2;
   r2.push_back(&c.nic);
   r2.push_back(&other);
   send_to_next_hop(*make_data(env, &r2, 9000, 99));

@@ -3,6 +3,7 @@
 #include "mptcp/mptcp_source.h"
 #include "net/fifo_queues.h"
 #include "topo/micro_topo.h"
+#include "topo/path_table.h"
 
 namespace ndpsim {
 namespace {
@@ -26,14 +27,8 @@ std::unique_ptr<mptcp_source> make_mptcp(sim_env& env, topology& topo,
                                          tcp_config cfg = {}) {
   cfg.handshake = false;
   auto m = std::make_unique<mptcp_source>(env, cfg, 1);
-  std::vector<std::unique_ptr<route>> fwd, rev;
-  const std::size_t n = topo.n_paths(s, d);
-  for (std::size_t i = 0; i < n_subflows; ++i) {
-    auto [f, r] = topo.make_route_pair(s, d, i % n);
-    fwd.push_back(std::move(f));
-    rev.push_back(std::move(r));
-  }
-  m->connect(std::move(fwd), std::move(rev), s, d, bytes, 0);
+  m->connect(topo.paths().all(s, d), static_cast<unsigned>(n_subflows), s, d,
+             bytes, 0);
   return m;
 }
 
@@ -79,8 +74,7 @@ TEST(mptcp, coupled_increase_is_subcapacity_fair_to_tcp) {
   cfg.min_rto = from_ms(5);
   tcp_source tcp(env, cfg, 99);
   tcp_sink tsink(env, 99);
-  auto [f, r] = star.make_route_pair(1, 2, 0);
-  tcp.connect(tsink, std::move(f), std::move(r), 1, 2, 0, 0);
+  tcp.connect(tsink, star.paths().single(1, 2, 0), 1, 2, 0, 0);
 
   env.events.run_until(from_ms(50));
   const std::uint64_t mb = m->total_payload_received();

@@ -8,6 +8,7 @@
 #include "ndp/ndp_source.h"
 #include "ndp/pull_pacer.h"
 #include "topo/micro_topo.h"
+#include "topo/path_table.h"
 
 namespace ndpsim {
 namespace {
@@ -31,9 +32,7 @@ struct conn {
        std::uint32_t d, std::uint64_t bytes, std::uint32_t fid,
        const ndp_source_config& sc, const ndp_sink_config& kc = {})
       : source(env, sc, fid), sink(env, pacer, kc, fid) {
-    std::vector<std::unique_ptr<route>> fwd, rev;
-    topo.make_routes(s, d, fwd, rev);
-    source.connect(sink, std::move(fwd), std::move(rev), s, d, bytes, 0);
+    source.connect(sink, topo.paths().all(s, d), s, d, bytes, 0);
   }
   ndp_source source;
   ndp_sink sink;

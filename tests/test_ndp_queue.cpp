@@ -22,7 +22,7 @@ TEST(ndp_queue, forwards_when_not_full) {
   sim_env env;
   recording_sink sink(env);
   ndp_queue q(env, gbps(10), small_q(8));
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   for (std::uint64_t i = 1; i <= 4; ++i) send_to_next_hop(*make_data(env, &r, 9000, i));
@@ -35,7 +35,7 @@ TEST(ndp_queue, trims_on_data_overflow_instead_of_dropping) {
   sim_env env;
   recording_sink sink(env);
   ndp_queue q(env, gbps(10), small_q(2));
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   // 1 in service + 2 buffered; the 4th and 5th overflow -> trimmed.
@@ -59,7 +59,7 @@ TEST(ndp_queue, trimmed_headers_overtake_queued_data) {
   recording_sink sink(env);
   ndp_queue q(env, gbps(10), small_q(2));
   q.set_paused(true);  // hold service so we control the order
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   for (std::uint64_t i = 1; i <= 4; ++i) send_to_next_hop(*make_data(env, &r, 9000, i));
@@ -78,7 +78,7 @@ TEST(ndp_queue, wrr_limits_headers_per_data_packet) {
   cfg.wrr_headers_per_data = 2;  // tight ratio so the test is short
   ndp_queue q(env, gbps(10), cfg);
   q.set_paused(true);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   // 4 data buffered; 6 control packets queued at higher priority.
@@ -114,7 +114,7 @@ TEST(ndp_queue, headers_drain_completely_when_no_data_waits) {
   ndp_queue_config cfg = small_q(4);
   cfg.wrr_headers_per_data = 1;
   ndp_queue q(env, gbps(10), cfg);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   for (std::uint64_t i = 0; i < 5; ++i) {
@@ -140,7 +140,7 @@ TEST(ndp_queue, random_trim_position_spreads_victims) {
     cfg.random_trim_position = random_trim;
     ndp_queue q(env, gbps(10), cfg);
     q.set_paused(true);
-    route r;
+    owned_route r;
     r.push_back(&q);
     r.push_back(&sink);
     int arriving_trimmed = 0;
@@ -179,7 +179,7 @@ TEST(ndp_queue, trim_disabled_drops_like_droptail) {
   ndp_queue_config cfg = small_q(1);
   cfg.enable_trimming = false;
   ndp_queue q(env, gbps(10), cfg);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   for (std::uint64_t i = 1; i <= 4; ++i) send_to_next_hop(*make_data(env, &r, 9000, i));
@@ -199,7 +199,7 @@ TEST(ndp_queue, header_queue_overflow_drops_control_without_rts) {
   cfg.enable_rts = true;  // control packets cannot bounce regardless
   ndp_queue q(env, gbps(10), cfg);
   q.set_paused(true);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   for (int i = 0; i < 4; ++i) {
@@ -234,13 +234,13 @@ TEST(ndp_queue, rts_bounces_header_back_to_source) {
   pipe p1(env, from_us(1)), p2(env, from_us(1)), p3(env, from_us(1)),
       p4(env, from_us(1));
 
-  route fwd;  // A -> switch -> B
+  owned_route fwd;  // A -> switch -> B
   fwd.push_back(&q_a);
   fwd.push_back(&p1);
   fwd.push_back(&q_sw);
   fwd.push_back(&p2);
   fwd.push_back(&dst_endpoint);
-  route rev;  // B -> switch -> A
+  owned_route rev;  // B -> switch -> A
   rev.push_back(&q_b);
   rev.push_back(&p3);
   rev.push_back(&q_sw_rev);
@@ -280,7 +280,7 @@ TEST(ndp_queue, bounced_header_is_never_bounced_twice) {
   tiny.header_capacity_bytes = kHeaderBytes;
   ndp_queue q(env, gbps(10), tiny);
   q.set_paused(true);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   // A pre-bounced header arriving at a full header queue must be dropped.

@@ -10,6 +10,7 @@
 #include "ndp/pull_pacer.h"
 #include "topo/fat_tree.h"
 #include "topo/micro_topo.h"
+#include "topo/path_table.h"
 #include "test_util.h"
 
 namespace ndpsim {
@@ -43,9 +44,7 @@ TEST(ndp_robustness, scoreboard_routes_around_degraded_core_link) {
     sc.penalty.enabled = penalty;
     ndp_source src(env, sc, 1);
     ndp_sink snk(env, pacer, {}, 1);
-    std::vector<std::unique_ptr<route>> fwd, rev;
-    ft.make_routes(0, 15, fwd, rev);
-    src.connect(snk, std::move(fwd), std::move(rev), 0, 15, 10'000'000, 0);
+    src.connect(snk, ft.paths().all(0, 15), 0, 15, 10'000'000, 0);
     while (!snk.complete() && env.events.run_next_event()) {
     }
     return to_us(snk.completion_time());
@@ -77,23 +76,15 @@ TEST(ndp_robustness, survives_loss_of_control_packets) {
 
   host_priority_queue nic_a(env, gbps(10)), nic_b(env, gbps(10));
   pipe w1(env, from_us(1)), w2(env, from_us(1));
-  auto fwd = std::make_unique<route>();
-  fwd->push_back(&nic_a);
-  fwd->push_back(&w1);
-  auto rev = std::make_unique<route>();
-  rev->push_back(&nic_b);
-  rev->push_back(&w2);
-  rev->push_back(&dropper);
+  manual_paths mp;
+  mp.add({&nic_a, &w1}, {&nic_b, &w2, &dropper});
 
   pull_pacer pacer(env, gbps(10));
   ndp_source_config sc;
   sc.rto = from_us(400);
   ndp_source src(env, sc, 1);
   ndp_sink snk(env, pacer, {}, 1);
-  std::vector<std::unique_ptr<route>> fv, rv;
-  fv.push_back(std::move(fwd));
-  rv.push_back(std::move(rev));
-  src.connect(snk, std::move(fv), std::move(rv), 0, 1, 100 * 8936, 0);
+  src.connect(snk, mp.set(), 0, 1, 100 * 8936, 0);
   env.events.run_until(from_ms(200));
   EXPECT_TRUE(snk.complete());
   EXPECT_TRUE(src.complete());
@@ -120,9 +111,7 @@ TEST(ndp_robustness, extreme_reordering_from_heterogeneous_paths) {
   sc.penalty.enabled = false;  // force continued use of slow paths
   ndp_source src(env, sc, 1);
   ndp_sink snk(env, pacer, {}, 1);
-  std::vector<std::unique_ptr<route>> fwd, rev;
-  ft.make_routes(0, 15, fwd, rev);
-  src.connect(snk, std::move(fwd), std::move(rev), 0, 15, 200 * 8936, 0);
+  src.connect(snk, ft.paths().all(0, 15), 0, 15, 200 * 8936, 0);
   env.events.run_until(from_ms(100));
   EXPECT_TRUE(snk.complete());
   EXPECT_EQ(snk.payload_received(), 200u * 8936);
@@ -140,9 +129,7 @@ TEST(ndp_robustness, many_connections_share_one_pacer_exactly) {
     conn(sim_env& e, topology& t, pull_pacer& pc, std::uint32_t s,
          std::uint32_t fid)
         : src(e, {}, fid), snk(e, pc, {}, fid) {
-      std::vector<std::unique_ptr<route>> f, r;
-      t.make_routes(s, 16, f, r);
-      src.connect(snk, std::move(f), std::move(r), s, 16, 50 * 8936, 0);
+      src.connect(snk, t.paths().all(s, 16), s, 16, 50 * 8936, 0);
     }
     ndp_source src;
     ndp_sink snk;

@@ -7,6 +7,7 @@
 #include "ndp/ndp_source.h"
 #include "ndp/pull_pacer.h"
 #include "topo/micro_topo.h"
+#include "topo/path_table.h"
 #include "test_util.h"
 
 namespace ndpsim {
@@ -33,9 +34,7 @@ struct connection {
              ndp_source_config sc = {}, ndp_sink_config kc = {},
              simtime_t start = 0)
       : source(env, sc, fid), sink(env, pacer, kc, fid) {
-    std::vector<std::unique_ptr<route>> fwd, rev;
-    topo.make_routes(s, d, fwd, rev);
-    source.connect(sink, std::move(fwd), std::move(rev), s, d, bytes,
+    source.connect(sink, topo.paths().all(s, d), s, d, bytes,
                    std::max(start, env.now()));
   }
   ndp_source source;
@@ -89,23 +88,15 @@ TEST(ndp_transport, every_first_window_packet_carries_syn_and_offset) {
 
   host_priority_queue nic_a(env, gbps(10)), nic_b(env, gbps(10));
   pipe wire_ab(env, from_us(1)), wire_ba(env, from_us(1));
-  auto fwd = std::make_unique<route>();
-  fwd->push_back(&nic_a);
-  fwd->push_back(&wire_ab);
-  fwd->push_back(&wire_tap);
-  auto rev = std::make_unique<route>();
-  rev->push_back(&nic_b);
-  rev->push_back(&wire_ba);
+  manual_paths mp;
+  mp.add({&nic_a, &wire_ab, &wire_tap}, {&nic_b, &wire_ba});
 
   pull_pacer pacer(env, gbps(10));
   ndp_source_config sc;
   sc.iw_packets = 4;
   ndp_source src(env, sc, 1);
   ndp_sink snk(env, pacer, {}, 1);
-  std::vector<std::unique_ptr<route>> fv, rv;
-  fv.push_back(std::move(fwd));
-  rv.push_back(std::move(rev));
-  src.connect(snk, std::move(fv), std::move(rv), 0, 1, 10 * 8936, 0);
+  src.connect(snk, mp.set(), 0, 1, 10 * 8936, 0);
   env.events.run_all();
 
   ASSERT_GE(wire_tap.seen.size(), 10u);

@@ -14,7 +14,7 @@ TEST(p4_pipeline, directprio_matches_control_packets) {
   sim_env env;
   recording_sink sink(env);
   p4_ndp_pipeline q(env, gbps(10), {});
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   packet* c = env.pool.alloc();
@@ -36,7 +36,7 @@ TEST(p4_pipeline, setprio_below_threshold_increments_register) {
   cfg.data_threshold_bytes = 12 * 1024;
   p4_ndp_pipeline q(env, gbps(10), cfg);
   q.set_paused(true);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   send_to_next_hop(*make_data(env, &r, 9000, 1));
@@ -55,7 +55,7 @@ TEST(p4_pipeline, setprio_above_threshold_truncates) {
   cfg.data_threshold_bytes = 12 * 1024;
   p4_ndp_pipeline q(env, gbps(10), cfg);
   q.set_paused(true);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   // qs reads 0, then 9000, then 18000: the threshold check is made *before*
@@ -97,7 +97,7 @@ TEST(p4_pipeline, equivalent_trim_decisions_to_ndp_queue) {
   nc.wrr_headers_per_data = 1000000;  // effectively strict priority
   ndp_queue ndpq(env2, gbps(10), nc);
 
-  route r1, r2;
+  owned_route r1, r2;
   r1.push_back(&p4q);
   r1.push_back(&s1);
   r2.push_back(&ndpq);
@@ -131,7 +131,7 @@ TEST(p4_pipeline, header_overflow_drops) {
   cfg.header_capacity_bytes = 2 * kHeaderBytes;
   p4_ndp_pipeline q(env, gbps(10), cfg);
   q.set_paused(true);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   for (std::uint64_t i = 1; i <= 5; ++i) send_to_next_hop(*make_data(env, &r, 1500, i));

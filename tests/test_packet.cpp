@@ -114,7 +114,7 @@ TEST(packet, control_type_classification) {
 TEST(packet, send_to_next_hop_walks_route) {
   sim_env env;
   testing::recording_sink s1(env), s2(env);
-  route r;
+  owned_route r;
   r.push_back(&s1);
   packet* p = testing::make_data(env, &r);
   send_to_next_hop(*p);
@@ -125,14 +125,14 @@ TEST(packet, send_to_next_hop_walks_route) {
 
 TEST(packet, running_off_route_throws) {
   sim_env env;
-  route r;  // empty
+  owned_route r;  // empty
   packet* p = testing::make_data(env, &r);
   EXPECT_THROW(send_to_next_hop(*p), simulation_error);
   env.pool.release(p);
 }
 
 TEST(route, reverse_registration) {
-  route f, r;
+  owned_route f, r;
   f.set_reverse(&r);
   r.set_reverse(&f);
   EXPECT_EQ(f.reverse(), &r);
@@ -142,7 +142,7 @@ TEST(route, reverse_registration) {
 TEST(route, queue_hops_counts_pairs) {
   sim_env env;
   testing::recording_sink end(env);
-  route r;
+  owned_route r;
   // [q, p, q, p, endpoint] -> 2 queue hops
   testing::recording_sink a(env), b(env), c(env), d(env);
   r.push_back(&a);

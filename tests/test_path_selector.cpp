@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <set>
 
 #include "ndp/path_selector.h"
 
@@ -108,6 +109,49 @@ TEST(path_selector, penalty_expires) {
   ASSERT_TRUE(sel.is_excluded(1));
   env.events.run_until(from_ms(1));  // well past the penalty
   EXPECT_FALSE(sel.is_excluded(1));
+}
+
+TEST(path_selector, excluded_path_reenters_after_penalty_without_retrigger) {
+  // §3.2.3: exclusion is temporary.  After `penalty_time` the path rejoins
+  // the permutation, and because per-path counters decay at every reshuffle,
+  // the stale NACK history that caused the exclusion must not immediately
+  // re-trigger it once the path is clean again.
+  sim_env env(17);
+  path_penalty_config pen;
+  pen.penalty_time = from_us(200);
+  path_selector sel(env, 4, path_mode::permutation, pen);
+  // Path 2 NACKs everything; the others are clean.
+  for (int i = 0; i < 100; ++i) {
+    for (std::uint16_t p = 0; p < 4; ++p) {
+      if (p == 2) {
+        sel.record_nack(p);
+      } else {
+        sel.record_ack(p);
+      }
+    }
+  }
+  for (int i = 0; i < 8; ++i) (void)sel.next();
+  ASSERT_TRUE(sel.is_excluded(2));
+  EXPECT_EQ(sel.n_usable(), 3u);
+  for (int i = 0; i < 30; ++i) EXPECT_NE(sel.next(), 2);
+
+  // While excluded, traffic keeps flowing on the healthy paths; each
+  // reshuffle decays path 2's stale counters below min_samples.
+  for (int i = 0; i < 400; ++i) sel.record_ack(sel.next());
+
+  // Past the penalty the path is no longer excluded and rejoins the
+  // permutation at the next reshuffle round.
+  env.events.run_until(from_us(300));
+  EXPECT_FALSE(sel.is_excluded(2));
+  std::set<std::uint16_t> seen;
+  for (int i = 0; i < 12; ++i) seen.insert(sel.next());
+  EXPECT_EQ(seen.count(2), 1u) << "path must re-enter the rotation";
+  EXPECT_EQ(sel.n_usable(), 4u);
+
+  // Clean behaviour afterwards: the decayed history must not re-exclude it.
+  for (int i = 0; i < 200; ++i) sel.record_ack(sel.next());
+  EXPECT_FALSE(sel.is_excluded(2));
+  EXPECT_EQ(sel.n_usable(), 4u);
 }
 
 TEST(path_selector, all_excluded_falls_back_to_full_set) {

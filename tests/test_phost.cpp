@@ -3,6 +3,7 @@
 #include "net/fifo_queues.h"
 #include "phost/phost.h"
 #include "topo/micro_topo.h"
+#include "topo/path_table.h"
 
 namespace ndpsim {
 namespace {
@@ -22,9 +23,7 @@ struct pconn {
         std::uint32_t s, std::uint32_t d, std::uint64_t bytes,
         std::uint32_t fid)
       : source(env, {}, fid), sink(env, pacer, {}, fid) {
-    std::vector<std::unique_ptr<route>> fwd, rev;
-    topo.make_routes(s, d, fwd, rev);
-    source.connect(sink, std::move(fwd), std::move(rev), s, d, bytes, 0);
+    source.connect(sink, topo.paths().all(s, d), s, d, bytes, 0);
   }
   phost_source source;
   phost_sink sink;

@@ -14,7 +14,7 @@ TEST(pipe, delays_by_propagation) {
   sim_env env;
   recording_sink sink(env);
   pipe pp(env, from_us(1));
-  route r;
+  owned_route r;
   r.push_back(&pp);
   r.push_back(&sink);
   packet* p = make_data(env, &r);
@@ -28,7 +28,7 @@ TEST(pipe, preserves_order_and_spacing) {
   sim_env env;
   recording_sink sink(env);
   pipe pp(env, from_us(2));
-  route r;
+  owned_route r;
   r.push_back(&pp);
   r.push_back(&sink);
   for (std::uint64_t i = 1; i <= 3; ++i) {
@@ -48,7 +48,7 @@ TEST(drop_tail, serializes_at_line_rate) {
   sim_env env;
   recording_sink sink(env);
   drop_tail_queue q(env, gbps(10), 100 * 9000);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   for (std::uint64_t i = 1; i <= 3; ++i) send_to_next_hop(*make_data(env, &r, 9000, i));
@@ -64,7 +64,7 @@ TEST(drop_tail, drops_when_full) {
   sim_env env;
   recording_sink sink(env);
   drop_tail_queue q(env, gbps(10), 2 * 9000);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   // First packet goes into service immediately; two fill the buffer; the
@@ -80,7 +80,7 @@ TEST(drop_tail, byte_capacity_not_packet_count) {
   sim_env env;
   recording_sink sink(env);
   drop_tail_queue q(env, gbps(10), 18000);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   // 1 in service + buffer holds 12 x 1500 = 18000.
@@ -94,7 +94,7 @@ TEST(ecn_threshold, marks_ect_above_threshold) {
   sim_env env;
   recording_sink sink(env);
   ecn_threshold_queue q(env, gbps(10), 100 * 9000, 2 * 9000);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   for (std::uint64_t i = 1; i <= 6; ++i) {
@@ -118,7 +118,7 @@ TEST(ecn_threshold, ignores_non_ect) {
   sim_env env;
   recording_sink sink(env);
   ecn_threshold_queue q(env, gbps(10), 100 * 9000, 0);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   for (std::uint64_t i = 1; i <= 3; ++i) send_to_next_hop(*make_data(env, &r, 9000, i));
@@ -130,7 +130,7 @@ TEST(red_ecn, marks_probabilistically_between_thresholds) {
   sim_env env(7);
   recording_sink sink(env);
   red_ecn_queue q(env, gbps(10), 1000 * 1500, 5 * 1500, 50 * 1500, 1.0);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   for (std::uint64_t i = 1; i <= 200; ++i) {
@@ -158,7 +158,7 @@ TEST(host_priority, control_preempts_data) {
   sim_env env;
   recording_sink sink(env);
   host_priority_queue q(env, gbps(10));
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   // Fill with data, then inject a control packet: it must jump the queue
@@ -182,7 +182,7 @@ TEST(queue_pausing, paused_queue_finishes_current_packet_only) {
   sim_env env;
   recording_sink sink(env);
   drop_tail_queue q(env, gbps(10), 100 * 9000);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   send_to_next_hop(*make_data(env, &r, 9000, 1));
@@ -201,7 +201,7 @@ TEST(queue_stats, byte_and_packet_counters) {
   sim_env env;
   recording_sink sink(env);
   drop_tail_queue q(env, gbps(10), 100 * 9000);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
   send_to_next_hop(*make_data(env, &r, 9000, 1));

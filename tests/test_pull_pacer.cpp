@@ -21,16 +21,17 @@ queue_factory hostq_factory(sim_env& env) {
 }
 
 // Harness: a sink bound to a recording control route, so issued pulls can be
-// observed directly without a full connection.
+// observed directly without a full connection (the collector swallows the
+// pulls before they would reach the demux terminal).
 struct sink_rig {
   sink_rig(sim_env& env, pull_pacer& pacer, std::uint32_t fid,
            std::uint8_t cls = 0)
       : collector(env), sink(env, pacer, {9000, cls}, fid) {
-    rt.push_back(&collector);
-    sink.bind({&rt}, 1, 0);
+    mp.add({}, {&collector});
+    sink.bind(mp.set(), 1, 0);
   }
   testing::recording_sink collector;
-  route rt;
+  manual_paths mp;
   ndp_sink sink;
 };
 

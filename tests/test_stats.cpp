@@ -76,7 +76,7 @@ TEST(rate_sampler, measures_queue_drain_rate) {
   sim_env env;
   testing::recording_sink sink(env);
   drop_tail_queue q(env, gbps(10), 1000 * 9000);
-  route r;
+  owned_route r;
   r.push_back(&q);
   r.push_back(&sink);
 

@@ -4,6 +4,7 @@
 #include "tcp/tcp_sink.h"
 #include "tcp/tcp_source.h"
 #include "topo/micro_topo.h"
+#include "topo/path_table.h"
 #include "test_util.h"
 
 namespace ndpsim {
@@ -24,8 +25,7 @@ struct tconn {
         std::uint64_t bytes, std::uint32_t fid, tcp_config cfg = {},
         std::size_t path = 0, simtime_t start = 0)
       : source(env, cfg, fid), sink(env, fid) {
-    auto [fwd, rev] = topo.make_route_pair(s, d, path);
-    source.connect(sink, std::move(fwd), std::move(rev), s, d, bytes, start);
+    source.connect(sink, topo.paths().single(s, d, path), s, d, bytes, start);
   }
   tcp_source source;
   tcp_sink sink;
@@ -115,20 +115,15 @@ TEST(tcp, fast_retransmit_recovers_single_loss_without_timeout) {
 
   host_priority_queue nic_a(env, gbps(10)), nic_b(env, gbps(10));
   pipe w1(env, from_us(10)), w2(env, from_us(10));
-  auto fwd = std::make_unique<route>();
-  fwd->push_back(&nic_a);
-  fwd->push_back(&w1);
-  fwd->push_back(&middle);
-  auto rev = std::make_unique<route>();
-  rev->push_back(&nic_b);
-  rev->push_back(&w2);
+  manual_paths mp;
+  mp.add({&nic_a, &w1, &middle}, {&nic_b, &w2});
 
   tcp_config cfg;
   cfg.handshake = false;
   cfg.min_rto = from_ms(200);
   tcp_source src(env, cfg, 1);
   tcp_sink snk(env, 1);
-  src.connect(snk, std::move(fwd), std::move(rev), 0, 1, 200 * 8936, 0);
+  src.connect(snk, mp.set(), 0, 1, 200 * 8936, 0);
   env.events.run_until(from_ms(150));
   EXPECT_TRUE(src.complete());
   EXPECT_TRUE(middle.dropped);
@@ -186,7 +181,7 @@ TEST(tcp_sink, reorders_and_acks_cumulatively) {
   sim_env env;
   tcp_sink sink(env, 1);
   testing::recording_sink ack_collector(env);
-  route rev;
+  owned_route rev;
   rev.push_back(&ack_collector);
   sink.bind(&rev, 1, 0);
   auto deliver = [&](std::uint64_t start, std::uint32_t len) {

@@ -171,6 +171,72 @@ TEST(fat_tree, pfc_mode_inserts_ingress_elements) {
   EXPECT_EQ(dst.count(), 1u);
 }
 
+TEST(fat_tree, k12_path_counts_match_structure) {
+  // The paper's main simulation size: k=12, 432 hosts.  Path counts follow
+  // the (k/2)^2 / (k/2) / 1 structure for inter-pod, intra-pod and same-ToR
+  // pairs.
+  sim_env env;
+  fat_tree ft(env, ft_cfg(12), droptail_factory(env));
+  EXPECT_EQ(ft.n_hosts(), 432u);
+  EXPECT_EQ(ft.hosts_per_tor(), 6u);
+  EXPECT_EQ(ft.n_paths(0, 431), 36u);  // inter-pod: (k/2)^2
+  EXPECT_EQ(ft.n_paths(0, 12), 6u);    // intra-pod, different ToR: k/2
+  EXPECT_EQ(ft.n_paths(0, 1), 1u);     // same ToR
+}
+
+TEST(fat_tree, k12_forward_and_reverse_traverse_partner_links) {
+  // Forward and reverse of the same path index must traverse the same
+  // switches: the same core, and the same (j, m) aggregation/port choice in
+  // both pods — the forward direction's queues and the reverse direction's
+  // queues are the two directions of the same physical links.
+  sim_env env;
+  fat_tree ft(env, ft_cfg(12), droptail_factory(env));
+  const unsigned half_k = 6;
+  const std::uint32_t src = 2;    // pod 0
+  const std::uint32_t dst = 431;  // pod 11
+  const unsigned pa = ft.pod_of(src);
+  const unsigned pb = ft.pod_of(dst);
+  auto index_of = [&](link_level level, const packet_sink* q) {
+    const auto& qs = ft.queues_at(level);
+    for (std::size_t i = 0; i < qs.size(); ++i) {
+      if (static_cast<const packet_sink*>(qs[i]) == q) return i;
+    }
+    ADD_FAILURE() << "queue not found at level " << to_string(level);
+    return std::size_t{0};
+  };
+  for (std::size_t p = 0; p < ft.n_paths(src, dst); ++p) {
+    auto [fwd, rev] = ft.make_route_pair(src, dst, p);
+    // Queue positions on an inter-pod route: 0 host_up, 2 tor_up, 4 agg_up,
+    // 6 core_down, 8 agg_down, 10 tor_down.
+    const std::size_t f_agg_up = index_of(link_level::agg_up, &fwd->at(4));
+    const std::size_t r_agg_up = index_of(link_level::agg_up, &rev->at(4));
+    const std::size_t f_core = index_of(link_level::core_down, &fwd->at(6));
+    const std::size_t r_core = index_of(link_level::core_down, &rev->at(6));
+    // agg_up index = (pod*half_k + j)*half_k + m.
+    const unsigned f_j = (f_agg_up / half_k) % half_k;
+    const unsigned f_m = f_agg_up % half_k;
+    const unsigned r_j = (r_agg_up / half_k) % half_k;
+    const unsigned r_m = r_agg_up % half_k;
+    EXPECT_EQ(f_agg_up / (half_k * half_k), pa);  // fwd climbs in pod a
+    EXPECT_EQ(r_agg_up / (half_k * half_k), pb);  // rev climbs in pod b
+    EXPECT_EQ(f_j, r_j) << "same aggregation choice both ways, path " << p;
+    EXPECT_EQ(f_m, r_m) << "same core port both ways, path " << p;
+    // core_down index = core*k + pod: both directions cross the SAME core,
+    // each descending into the other's pod.
+    EXPECT_EQ(f_core / 12, r_core / 12) << "same core switch, path " << p;
+    EXPECT_EQ(f_core % 12, pb);
+    EXPECT_EQ(r_core % 12, pa);
+    // And the descent uses the same aggregation switch (j) on each side:
+    // agg_down index = (pod*half_k + j)*half_k + tor_local.
+    const std::size_t f_agg_dn = index_of(link_level::agg_down, &fwd->at(8));
+    const std::size_t r_agg_dn = index_of(link_level::agg_down, &rev->at(8));
+    EXPECT_EQ(f_agg_dn / (half_k * half_k), pb);
+    EXPECT_EQ(r_agg_dn / (half_k * half_k), pa);
+    EXPECT_EQ((f_agg_dn / half_k) % half_k, f_j);
+    EXPECT_EQ((r_agg_dn / half_k) % half_k, f_j);
+  }
+}
+
 TEST(back_to_back, single_nic_route) {
   sim_env env;
   back_to_back b2b(env, gbps(10), from_us(1), droptail_factory(env));

@@ -4,6 +4,7 @@
 
 #include "net/fifo_queues.h"
 #include "topo/micro_topo.h"
+#include "topo/path_table.h"
 #include "workload/cbr_source.h"
 #include "workload/closed_loop.h"
 #include "workload/size_distributions.h"
@@ -76,10 +77,8 @@ TEST(cbr_source, sends_at_configured_rate) {
   };
   single_switch star(env, 2, gbps(10), from_us(1), factory);
   counting_sink sink(env);
-  auto [fwd, rev] = star.make_route_pair(0, 1, 0);
-  fwd->push_back(&sink);
   cbr_source cbr(env, gbps(5), 9000, 1);
-  cbr.start(std::move(fwd), 0, 1, 0);
+  cbr.start(star.paths().single(0, 1, 0), &sink, 0, 1, 0);
   env.events.run_until(from_ms(10));
   const double gb =
       static_cast<double>(sink.payload_bytes()) * 8 / to_sec(from_ms(10)) / 1e9;
