@@ -12,21 +12,38 @@
 //     the per-flow route building it replaced (every connection privately
 //     heap-building every route pair), reporting routes/sec and resident
 //     route bytes under closed-loop flow churn.
-//  3. Representative figure runs — a small NDP incast, a k=4 permutation and
-//     a k=16 (1024-host) permutation, reporting end-to-end events/sec of the
-//     full simulator.
-//  4. Parallel sweep — the same incast at several seeds, run serially and
+//  3. Flow-churn benchmark — closed-loop RPC churn with the flow recycler
+//     vs the no-recycle baseline (every completed flow kept forever, the
+//     pre-lifecycle behaviour): sustained flows/sec and resident-memory
+//     growth.
+//  4. Representative figure runs — a small NDP incast, k=4/k=16 NDP
+//     permutations, and k=8 DCQCN and pHost permutations, reporting
+//     end-to-end events/sec of the full simulator.
+//  5. Parallel sweep — the same incast at several seeds, run serially and
 //     through parallel_runner, checking bitwise-identical per-config FCT
 //     results and reporting the wall-clock ratio.
+//
+// `--quick` reduces repetition counts (best-of rounds) for CI smoke runs
+// while keeping every measured workload identical, so reported rates stay
+// comparable with full runs.  All gated rates are computed over process CPU
+// time, not wall-clock — the simulator is single-threaded and CPU time is
+// what reproduces on shared machines.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <functional>
 #include <queue>
 #include <string>
 #include <vector>
 
+#if defined(__linux__)
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
 #include "harness/experiments.h"
+#include "harness/flow_recycler.h"
 #include "harness/parallel_runner.h"
 #include "net/fifo_queues.h"
 #include "sim/eventlist.h"
@@ -39,6 +56,42 @@ namespace {
 double seconds_since(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// CPU seconds (user + system) consumed by this process so far.  The churn
+/// comparison times with this instead of wall-clock: the simulator is
+/// single-threaded, and on shared machines wall time includes whatever else
+/// is running — CPU time is the metric that reproduces.  Falls back to
+/// wall-clock where getrusage is unavailable.
+double cpu_seconds_now() {
+#if defined(__linux__)
+  rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    return static_cast<double>(ru.ru_utime.tv_sec + ru.ru_stime.tv_sec) +
+           static_cast<double>(ru.ru_utime.tv_usec + ru.ru_stime.tv_usec) /
+               1e6;
+  }
+#endif
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Current resident set size of this process (0 where unsupported).
+std::size_t current_rss_bytes() {
+#if defined(__linux__)
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long total = 0;
+  long rss = 0;
+  const int n = std::fscanf(f, "%ld %ld", &total, &rss);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return static_cast<std::size_t>(rss) *
+         static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
 }
 
 // --------------------------------------------------------------------------
@@ -128,7 +181,7 @@ double churn_new(const churn_params& p, std::uint64_t* fires_out) {
   std::deque<counting_source> flows;  // deque: event_source is pinned in place
   for (std::size_t i = 0; i < p.flows; ++i) flows.emplace_back(el);
   tiny_rng rng;
-  const auto t0 = std::chrono::steady_clock::now();
+  const double c0 = cpu_seconds_now();
   simtime_t vnow = 0;
   for (std::uint64_t op = 0; op < p.acks; ++op) {
     vnow += p.tick;
@@ -137,7 +190,7 @@ double churn_new(const churn_params& p, std::uint64_t* fires_out) {
     el.reschedule(f.rto, f, vnow + p.rto);
   }
   el.run_until(vnow + p.rto + 1);
-  const double dt = seconds_since(t0);
+  const double dt = cpu_seconds_now() - c0;
   std::uint64_t fires = 0;
   for (const auto& f : flows) fires += f.fires;
   *fires_out = fires;
@@ -170,7 +223,7 @@ double churn_legacy(const churn_params& p, std::uint64_t* fires_out,
     f.spurious = &spurious;
   }
   tiny_rng rng;
-  const auto t0 = std::chrono::steady_clock::now();
+  const double c0 = cpu_seconds_now();
   simtime_t vnow = 0;
   for (std::uint64_t op = 0; op < p.acks; ++op) {
     vnow += p.tick;
@@ -180,7 +233,7 @@ double churn_legacy(const churn_params& p, std::uint64_t* fires_out,
     el.schedule(f, f.deadline);
   }
   el.run_until(vnow + p.rto + 1);
-  const double dt = seconds_since(t0);
+  const double dt = cpu_seconds_now() - c0;
   std::uint64_t fires = 0;
   for (const auto& f : flows) fires += f.fires;
   *fires_out = fires;
@@ -208,10 +261,10 @@ double ticks_new(std::size_t sources, std::uint64_t total_events) {
     srcs.emplace_back(el, from_ns(100 + 10 * (i % 16)));
     el.schedule_at(srcs.back(), from_ns(100));
   }
-  const auto t0 = std::chrono::steady_clock::now();
+  const double c0 = cpu_seconds_now();
   std::uint64_t n = 0;
   while (n < total_events) n += el.run_next_batch();
-  return seconds_since(t0);
+  return cpu_seconds_now() - c0;
 }
 
 double ticks_legacy(std::size_t sources, std::uint64_t total_events) {
@@ -233,9 +286,9 @@ double ticks_legacy(std::size_t sources, std::uint64_t total_events) {
     srcs[i].count = &n;
     el.schedule(srcs[i], from_ns(100));
   }
-  const auto t0 = std::chrono::steady_clock::now();
+  const double c0 = cpu_seconds_now();
   while (n < total_events) el.run_until(el.now() + from_us(1));
-  return seconds_since(t0);
+  return cpu_seconds_now() - c0;
 }
 
 // --------------------------------------------------------------------------
@@ -324,16 +377,140 @@ route_setup_result run_route_setup() {
 }
 
 // --------------------------------------------------------------------------
-// Sections 3 + 4: figure-level runs and the parallel sweep.
+// Section 3: flow-churn benchmark (lifecycle engine vs no-recycle baseline).
+// --------------------------------------------------------------------------
+
+struct churn_phase_result {
+  double cpu_sec = 0;              ///< process CPU time consumed by the phase
+  std::uint64_t completed = 0;
+  std::size_t flow_slots = 0;      ///< factory flow-table size at the end
+  std::size_t table_bytes = 0;     ///< path_table resident bytes at the end
+  std::size_t rss_growth = 0;      ///< process RSS growth over the phase
+  std::size_t rss_after = 0;       ///< absolute RSS when the phase ended
+  [[nodiscard]] double flows_per_sec() const {
+    return cpu_sec > 0 ? static_cast<double>(completed) / cpu_sec : 0;
+  }
+};
+
+struct churn_workload {
+  unsigned k = 8;
+  // Enough turnovers that the baseline's accumulation (demux entries,
+  // subset arrays, live transport objects) costs it measurably, not just
+  // in memory: at 64 generations the no-recycle side drags ~4k dead flows.
+  std::uint64_t generations = 64;
+  std::uint64_t bytes = 90'000;  ///< ~10 packets per RPC
+  std::size_t senders = 64;      ///< closed-loop incast population
+};
+
+/// Closed-loop RPC churn: `senders` hosts keep one 90KB request each in
+/// flight towards host 0 (an RPC server), replacing every completed flow
+/// immediately, for `generations` turnovers of the population.  This is the
+/// demux-heavy pattern: every flow terminates at the same receiving host.
+churn_phase_result churn_with_recycler(const churn_workload& w) {
+  churn_phase_result res;
+  fabric_params fp;
+  fp.proto = protocol::ndp;
+  auto bed = make_fat_tree_testbed(21, w.k, fp);
+  std::uint64_t cursor = 0;
+  const std::size_t n_senders =
+      std::min<std::size_t>(w.senders, bed->topo->n_hosts() - 1);
+  auto pick_pair = [&cursor, n_senders](sim_env&) {
+    const std::uint32_t src =
+        static_cast<std::uint32_t>(1 + cursor++ % n_senders);
+    return std::make_pair(src, std::uint32_t{0});
+  };
+  const std::uint64_t target = w.generations * n_senders;
+  recycler_config rc;
+  rc.proto = protocol::ndp;
+  rc.opts.bytes = w.bytes;
+  rc.opts.max_paths = 8;
+  rc.linger = from_us(200);
+  rc.max_starts = target;  // same flow count as the baseline side
+  flow_recycler rec(bed->env, *bed->topo, *bed->flows, rc, pick_pair);
+
+  const std::size_t rss0 = current_rss_bytes();
+  const double c0 = cpu_seconds_now();
+  rec.start(n_senders);
+  while (rec.fcts().completed() < target && bed->env.events.run_next_event()) {
+  }
+  rec.stop();
+  res.cpu_sec = cpu_seconds_now() - c0;
+  res.completed = rec.fcts().completed();
+  res.flow_slots = bed->flows->flows().size();
+  res.table_bytes = bed->topo->paths().resident_bytes();
+  res.rss_after = current_rss_bytes();
+  res.rss_growth = res.rss_after > rss0 ? res.rss_after - rss0 : 0;
+  return res;
+}
+
+/// The same workload with the pre-lifecycle behaviour: completed flows are
+/// never destroyed — transports, demux bindings and subset arrays all
+/// accumulate for the run's lifetime.
+churn_phase_result churn_baseline(const churn_workload& w) {
+  churn_phase_result res;
+  fabric_params fp;
+  fp.proto = protocol::ndp;
+  auto bed = make_fat_tree_testbed(21, w.k, fp);
+  const std::size_t n_senders =
+      std::min<std::size_t>(w.senders, bed->topo->n_hosts() - 1);
+  const std::uint64_t target = w.generations * n_senders;
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  flow_options base;
+  base.bytes = w.bytes;
+  base.max_paths = 8;
+  std::function<void(std::uint32_t)> start_one =
+      [&](std::uint32_t src) {
+        flow_options o = base;
+        o.start = bed->env.now();
+        flow& f = bed->flows->create(protocol::ndp, src, 0, o);
+        ++started;
+        f.on_complete([&, src] {
+          ++completed;
+          if (started < target) start_one(src);
+        });
+      };
+
+  const std::size_t rss0 = current_rss_bytes();
+  const double c0 = cpu_seconds_now();
+  for (std::size_t s = 0; s < n_senders; ++s) {
+    start_one(static_cast<std::uint32_t>(1 + s));
+  }
+  while (completed < target && bed->env.events.run_next_event()) {
+  }
+  res.cpu_sec = cpu_seconds_now() - c0;
+  res.completed = completed;
+  res.flow_slots = bed->flows->flows().size();
+  res.table_bytes = bed->topo->paths().resident_bytes();
+  res.rss_after = current_rss_bytes();
+  res.rss_growth = res.rss_after > rss0 ? res.rss_after - rss0 : 0;
+  return res;
+}
+
+// --------------------------------------------------------------------------
+// Sections 4 + 5: figure-level runs and the parallel sweep.
 // --------------------------------------------------------------------------
 
 struct figure_stats {
   std::string name;
   std::uint64_t events = 0;
   double wall_seconds = 0;
+  double cpu_seconds = 0;   ///< events_per_sec denominator (load-immune)
   double events_per_sec = 0;
   std::size_t completed = 0;
 };
+
+/// Shared epilogue: events/sec over process CPU time, not wall — on a busy
+/// machine wall time counts everyone else's work and the committed-baseline
+/// comparison in CI would flag phantom regressions.
+void finish_figure(figure_stats& st, std::uint64_t events, double wall,
+                   double cpu) {
+  st.events = events;
+  st.wall_seconds = wall;
+  st.cpu_seconds = cpu;
+  st.events_per_sec =
+      cpu > 0 ? static_cast<double>(events) / cpu : 0;
+}
 
 void incast_body(const experiment_config& cfg, sim_env& env,
                  fct_recorder& fcts) {
@@ -351,6 +528,7 @@ void incast_body(const experiment_config& cfg, sim_env& env,
                               from_ms(200));
   (void)res;
   for (const auto& f : bed.flows->flows()) {
+    if (f == nullptr) continue;  // destroyed flows leave recycled holes
     fcts.flow_started(f->id, f->start_time, f->bytes);
     if (f->complete()) fcts.flow_completed(f->id, f->completion_time());
   }
@@ -360,15 +538,13 @@ figure_stats run_incast_figure() {
   figure_stats st;
   st.name = "incast_ndp_k4_15to1";
   const auto t0 = std::chrono::steady_clock::now();
+  const double c0 = cpu_seconds_now();
   experiment_config cfg{.name = st.name, .seed = 42, .param = 0};
   sim_env env(cfg.seed);
   fct_recorder fcts;
   incast_body(cfg, env, fcts);
-  st.events = env.events.events_processed();
-  st.wall_seconds = seconds_since(t0);
-  st.events_per_sec =
-      st.wall_seconds > 0 ? static_cast<double>(st.events) / st.wall_seconds
-                          : 0;
+  finish_figure(st, env.events.events_processed(), seconds_since(t0),
+                cpu_seconds_now() - c0);
   st.completed = fcts.completed();
   return st;
 }
@@ -377,6 +553,7 @@ figure_stats run_permutation_figure() {
   figure_stats st;
   st.name = "permutation_ndp_k4";
   const auto t0 = std::chrono::steady_clock::now();
+  const double c0 = cpu_seconds_now();
   fabric_params fp;
   fp.proto = protocol::ndp;
   auto bed = make_fat_tree_testbed(7, 4, fp);
@@ -384,11 +561,8 @@ figure_stats run_permutation_figure() {
   const auto res = run_permutation(*bed, protocol::ndp, o, from_ms(1),
                                    from_ms(4));
   (void)res;
-  st.events = bed->env.events.events_processed();
-  st.wall_seconds = seconds_since(t0);
-  st.events_per_sec =
-      st.wall_seconds > 0 ? static_cast<double>(st.events) / st.wall_seconds
-                          : 0;
+  finish_figure(st, bed->env.events.events_processed(), seconds_since(t0),
+                cpu_seconds_now() - c0);
   st.completed = bed->topo->n_hosts();
   return st;
 }
@@ -400,6 +574,7 @@ figure_stats run_permutation_k16_figure() {
   figure_stats st;
   st.name = "permutation_ndp_k16";
   const auto t0 = std::chrono::steady_clock::now();
+  const double c0 = cpu_seconds_now();
   fabric_params fp;
   fp.proto = protocol::ndp;
   auto bed = make_fat_tree_testbed(7, 16, fp);
@@ -407,15 +582,60 @@ figure_stats run_permutation_k16_figure() {
   const auto res = run_permutation(*bed, protocol::ndp, o, from_ms(0.5),
                                    from_ms(1.5));
   (void)res;
-  st.events = bed->env.events.events_processed();
-  st.wall_seconds = seconds_since(t0);
-  st.events_per_sec =
-      st.wall_seconds > 0 ? static_cast<double>(st.events) / st.wall_seconds
-                          : 0;
+  finish_figure(st, bed->env.events.events_processed(), seconds_since(t0),
+                cpu_seconds_now() - c0);
   st.completed = bed->topo->n_hosts();
   std::printf("  k16: %zu interned paths, %.1f MB shared route state\n",
               bed->topo->paths().interned_paths(),
               static_cast<double>(bed->topo->paths().resident_bytes()) / 1e6);
+  return st;
+}
+
+/// Figure-level DCQCN at scale (ROADMAP open item: only the NDP/TCP
+/// families were exercised past toy sizes): a k=8 (128-host) permutation on
+/// the PFC-lossless RED-marking fabric, goodput measured over a window.
+figure_stats run_permutation_dcqcn_k8() {
+  figure_stats st;
+  st.name = "permutation_dcqcn_k8";
+  const auto t0 = std::chrono::steady_clock::now();
+  const double c0 = cpu_seconds_now();
+  fabric_params fp;
+  fp.proto = protocol::dcqcn;
+  auto bed = make_fat_tree_testbed(7, 8, fp);
+  flow_options o;
+  const auto res = run_permutation(*bed, protocol::dcqcn, o, from_ms(0.5),
+                                   from_ms(2));
+  (void)res;
+  finish_figure(st, bed->env.events.events_processed(), seconds_since(t0),
+                cpu_seconds_now() - c0);
+  // Unbounded goodput-window flows never complete; report the honest count.
+  st.completed = bed->flows->completed_count();
+  return st;
+}
+
+/// Figure-level pHost at scale: a k=8 permutation of finite 900KB flows over
+/// its shallow (8-packet) drop-tail fabric, run to completion.
+figure_stats run_phost_k8() {
+  figure_stats st;
+  st.name = "permutation_phost_k8";
+  const auto t0 = std::chrono::steady_clock::now();
+  const double c0 = cpu_seconds_now();
+  fabric_params fp;
+  fp.proto = protocol::phost;
+  auto bed = make_fat_tree_testbed(7, 8, fp);
+  const auto matrix = permutation_matrix(bed->env.rng, bed->topo->n_hosts());
+  std::vector<flow*> flows;
+  flow_options o;
+  o.bytes = 900'000;
+  for (std::uint32_t h = 0; h < bed->topo->n_hosts(); ++h) {
+    flow_options fo = o;
+    fo.start = static_cast<simtime_t>(bed->env.rand_below(1000)) * kNanosecond;
+    flows.push_back(&bed->flows->create(protocol::phost, h, matrix[h], fo));
+  }
+  run_until_complete(bed->env, flows, from_ms(200));
+  finish_figure(st, bed->env.events.events_processed(), seconds_since(t0),
+                cpu_seconds_now() - c0);
+  st.completed = bed->flows->completed_count();
   return st;
 }
 
@@ -446,9 +666,21 @@ bool outcomes_identical(const std::vector<experiment_outcome>& a,
 
 int main(int argc, char** argv) {
   using namespace ndpsim;
-  const char* out_path = argc > 1 ? argv[1] : "BENCH_eventcore.json";
+  const char* out_path = "BENCH_eventcore.json";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+  if (quick) std::printf("quick mode: reduced iteration counts\n");
 
-  // ---- Section 1: scheduler microbenchmark.
+  // ---- Section 1: scheduler microbenchmark.  Not scaled down in quick
+  // mode: it is sub-second at full counts, and shorter runs under-amortize
+  // heap/cache warmup, which would make the reported rates incomparable
+  // with full runs (the property the CI smoke check relies on).
   churn_params cp;
   std::uint64_t new_fires = 0;
   std::uint64_t legacy_fires = 0;
@@ -509,18 +741,69 @@ int main(int argc, char** argv) {
               static_cast<double>(rs.legacy_bytes) /
                   static_cast<double>(rs.interned_bytes));
 
-  // ---- Section 3: representative figure runs.
+  // ---- Section 3: flow-churn benchmark.  The recycling phase runs FIRST:
+  // process RSS only ever grows, so the ordering makes "recycling's RSS
+  // high-water < baseline's" a conservative comparison (the baseline starts
+  // from the recycler's peak and still has to climb past it).  A discarded
+  // warmup round first faults in the allocator pages both phases reuse, so
+  // whichever phase runs first doesn't eat the warmup cost alone.
+  // Quick mode keeps the gated workload identical (64 generations) and
+  // saves time by running fewer best-of rounds — reduced repetitions keep
+  // the reported rate comparable with full runs; a reduced workload would
+  // not (under-amortized warmup systematically lowers it).
+  churn_workload cw;
+  {
+    churn_workload warm = cw;
+    warm.generations = 1;
+    (void)churn_with_recycler(warm);
+    (void)churn_baseline(warm);
+  }
+  // Interleaved best-of-3 pairs: at ~60ms per phase, scheduler jitter alone
+  // swings a single run ~10%, so each side keeps its best timing.  The RSS
+  // metrics come from the FIRST pair only — later rounds reuse pages the
+  // first already faulted in, which would understate the baseline's growth.
+  churn_phase_result cr = churn_with_recycler(cw);
+  churn_phase_result cb = churn_baseline(cw);
+  for (int round = 1; round < (quick ? 2 : 3); ++round) {
+    const churn_phase_result r2 = churn_with_recycler(cw);
+    const churn_phase_result b2 = churn_baseline(cw);
+    if (r2.cpu_sec < cr.cpu_sec) cr.cpu_sec = r2.cpu_sec;
+    if (b2.cpu_sec < cb.cpu_sec) cb.cpu_sec = b2.cpu_sec;
+  }
+  std::printf(
+      "flow churn (k=%u, %zu-deep closed-loop incast, %llu generations):\n",
+      cw.k, cw.senders, static_cast<unsigned long long>(cw.generations));
+  std::printf(
+      "  recycling : %.3f cpu-s  %6.0f flows/s  %5zu flow slots  %.2f MB "
+      "table  rss +%.1f MB (%.1f MB total)\n",
+      cr.cpu_sec, cr.flows_per_sec(), cr.flow_slots,
+      static_cast<double>(cr.table_bytes) / 1e6,
+      static_cast<double>(cr.rss_growth) / 1e6,
+      static_cast<double>(cr.rss_after) / 1e6);
+  std::printf(
+      "  baseline  : %.3f cpu-s  %6.0f flows/s  %5zu flow slots  %.2f MB "
+      "table  rss +%.1f MB (%.1f MB total)\n",
+      cb.cpu_sec, cb.flows_per_sec(), cb.flow_slots,
+      static_cast<double>(cb.table_bytes) / 1e6,
+      static_cast<double>(cb.rss_growth) / 1e6,
+      static_cast<double>(cb.rss_after) / 1e6);
+
+  // ---- Section 4: representative figure runs.  Not scaled down in quick
+  // mode (each is seconds at worst): identical workloads are what keeps
+  // quick-run events/sec comparable with the committed full-run values.
   const figure_stats incast = run_incast_figure();
   const figure_stats perm = run_permutation_figure();
   const figure_stats perm16 = run_permutation_k16_figure();
-  for (const auto& st : {incast, perm, perm16}) {
+  const figure_stats dcqcn8 = run_permutation_dcqcn_k8();
+  const figure_stats phost8 = run_phost_k8();
+  for (const auto& st : {incast, perm, perm16, dcqcn8, phost8}) {
     std::printf("%-24s %8.2fs  %9llu events  %.2fM events/s  (%zu flows)\n",
                 st.name.c_str(), st.wall_seconds,
                 static_cast<unsigned long long>(st.events),
                 st.events_per_sec / 1e6, st.completed);
   }
 
-  // ---- Section 4: serial vs parallel sweep, identical-results check.
+  // ---- Section 5: serial vs parallel sweep, identical-results check.
   std::vector<experiment_config> sweep;
   for (int i = 0; i < 4; ++i) {
     sweep.push_back(experiment_config{
@@ -584,16 +867,45 @@ int main(int argc, char** argv) {
       static_cast<double>(rs.route_pairs) / rs.legacy_sec,
       static_cast<double>(rs.route_pairs) / rs.interned_sec, rs.legacy_bytes,
       rs.interned_bytes, rs.speedup());
+  std::fprintf(f, "  \"flow_churn\": {\n");
+  std::fprintf(f, "    \"k\": %u,\n", cw.k);
+  std::fprintf(f, "    \"population\": %zu,\n", cw.senders);
+  std::fprintf(f, "    \"generations\": %llu,\n",
+               static_cast<unsigned long long>(cw.generations));
+  std::fprintf(f,
+               "    \"recycling\": {\"flows_completed\": %llu, "
+               "\"flows_per_sec\": %.0f, \"flow_slots\": %zu, "
+               "\"table_resident_bytes\": %zu, \"rss_growth_bytes\": %zu, "
+               "\"peak_rss_bytes\": %zu},\n",
+               static_cast<unsigned long long>(cr.completed),
+               cr.flows_per_sec(), cr.flow_slots, cr.table_bytes,
+               cr.rss_growth, cr.rss_after);
+  std::fprintf(f,
+               "    \"baseline\": {\"flows_completed\": %llu, "
+               "\"flows_per_sec\": %.0f, \"flow_slots\": %zu, "
+               "\"table_resident_bytes\": %zu, \"rss_growth_bytes\": %zu, "
+               "\"peak_rss_bytes\": %zu},\n",
+               static_cast<unsigned long long>(cb.completed),
+               cb.flows_per_sec(), cb.flow_slots, cb.table_bytes,
+               cb.rss_growth, cb.rss_after);
+  std::fprintf(f, "    \"speedup\": %.3f,\n",
+               cb.flows_per_sec() > 0
+                   ? cr.flows_per_sec() / cb.flows_per_sec()
+                   : 0.0);
+  std::fprintf(f, "    \"peak_rss_lower\": %s\n",
+               cr.rss_after < cb.rss_after ? "true" : "false");
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"figures\": [\n");
   bool first = true;
-  for (const auto& st : {incast, perm, perm16}) {
+  for (const auto& st : {incast, perm, perm16, dcqcn8, phost8}) {
     std::fprintf(f,
                  "%s    {\"name\": \"%s\", \"events\": %llu, "
-                 "\"wall_seconds\": %.4f, \"events_per_sec\": %.0f, "
+                 "\"wall_seconds\": %.4f, \"cpu_seconds\": %.4f, "
+                 "\"events_per_sec\": %.0f, "
                  "\"flows_completed\": %zu}",
                  first ? "" : ",\n", st.name.c_str(),
                  static_cast<unsigned long long>(st.events), st.wall_seconds,
-                 st.events_per_sec, st.completed);
+                 st.cpu_seconds, st.events_per_sec, st.completed);
     first = false;
   }
   std::fprintf(f, "\n  ],\n");
@@ -620,6 +932,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "WARNING: route setup speedup %.2fx below the 5x target\n",
                  rs.speedup());
+  }
+  if (cr.flows_per_sec() < cb.flows_per_sec()) {
+    std::fprintf(stderr,
+                 "WARNING: recycling churn %.0f flows/s below the no-recycle "
+                 "baseline's %.0f\n",
+                 cr.flows_per_sec(), cb.flows_per_sec());
+  }
+  if (cr.rss_after >= cb.rss_after && cb.rss_after > 0) {
+    std::fprintf(stderr,
+                 "WARNING: recycling peak RSS not below the baseline's\n");
   }
   return identical ? 0 : 2;
 }

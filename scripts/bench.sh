@@ -1,15 +1,25 @@
 #!/usr/bin/env bash
 # Build Release and refresh BENCH_eventcore.json at the repo root: the
-# event-core microbenchmark (new scheduler vs embedded legacy baseline) plus
-# representative figure runs and the serial-vs-parallel sweep.
+# event-core microbenchmark (new scheduler vs embedded legacy baseline), the
+# flow-churn recycling benchmark, representative figure runs and the
+# serial-vs-parallel sweep.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCH_QUICK=1  reduced iteration counts (CI smoke runs; rates stay
+#                  comparable, wall time drops)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-$repo_root/build-bench}"
+out="${1:-$repo_root/BENCH_eventcore.json}"
 
 cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
       -DBUILD_TESTING=OFF >/dev/null
 cmake --build "$build_dir" --target bench_eventcore -j"$(nproc)"
 
-"$build_dir/bench_eventcore" "$repo_root/BENCH_eventcore.json"
-echo "updated $repo_root/BENCH_eventcore.json"
+args=("$out")
+if [[ "${BENCH_QUICK:-0}" != "0" ]]; then
+  args+=("--quick")
+fi
+"$build_dir/bench_eventcore" "${args[@]}"
+echo "updated $out"

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_eventcore.json files and fail on events/sec regression.
+
+Usage: check_bench.py COMMITTED.json CANDIDATE.json [--tolerance 0.2]
+
+Compares the rate metrics that are stable across iteration counts (figure
+events/sec, scheduler ops/sec, flow-churn flows/sec): the candidate may not
+fall more than `tolerance` below the committed value.  Being faster is never
+an error.  Metrics present in only one file are skipped, so the check keeps
+working while benchmark sections are added.
+"""
+import argparse
+import json
+import sys
+
+
+# Figures whose committed wall time is below this are skipped: a run of a
+# few milliseconds measures scheduler jitter, not the simulator.
+MIN_FIGURE_WALL_SEC = 0.03
+
+
+def rate_metrics(doc):
+    """Flatten the rate (per-second) metrics of one bench document."""
+    out = {}
+    sched = doc.get("scheduler_microbench", {})
+    if "timer_churn" in sched:
+        out["timer_churn.new_ops_per_sec"] = sched["timer_churn"].get(
+            "new_ops_per_sec")
+    if "tick_dispatch" in sched:
+        out["tick_dispatch.new_events_per_sec"] = sched["tick_dispatch"].get(
+            "new_events_per_sec")
+    # route_setup is deliberately excluded: the interned side finishes in
+    # ~1ms, and at that scale allocation jitter alone spans >30% run to run
+    # (measured same-machine), which would make the gate cry wolf.
+    churn = doc.get("flow_churn", {})
+    if "recycling" in churn:
+        out["flow_churn.recycling_flows_per_sec"] = churn["recycling"].get(
+            "flows_per_sec")
+    for fig in doc.get("figures", []):
+        if fig.get("wall_seconds", 0) < MIN_FIGURE_WALL_SEC:
+            continue
+        out[f"figures.{fig['name']}.events_per_sec"] = fig.get(
+            "events_per_sec")
+    return {k: v for k, v in out.items() if isinstance(v, (int, float))}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("committed")
+    ap.add_argument("candidate")
+    ap.add_argument("--tolerance", type=float, default=0.2,
+                    help="allowed fractional slowdown vs committed (0.2 = 20%%)")
+    args = ap.parse_args()
+
+    with open(args.committed) as f:
+        committed = rate_metrics(json.load(f))
+    with open(args.candidate) as f:
+        candidate = rate_metrics(json.load(f))
+
+    shared = sorted(set(committed) & set(candidate))
+    if not shared:
+        print("error: no comparable metrics between the two files")
+        return 2
+
+    failures = []
+    for key in shared:
+        base = committed[key]
+        got = candidate[key]
+        if base <= 0:
+            continue
+        ratio = got / base
+        status = "ok"
+        if ratio < 1.0 - args.tolerance:
+            status = "REGRESSION"
+            failures.append(key)
+        print(f"{key:48s} {base:14.0f} -> {got:14.0f}  ({ratio:6.2f}x) {status}")
+
+    if failures:
+        print(f"\nFAILED: {len(failures)} metric(s) regressed more than "
+              f"{args.tolerance:.0%}: {', '.join(failures)}")
+        return 1
+    print(f"\nall {len(shared)} shared metrics within {args.tolerance:.0%} "
+          "of committed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,8 +18,15 @@ dcqcn_source::dcqcn_source(sim_env& env, dcqcn_config cfg,
   NDPSIM_ASSERT(cfg_.line_rate > 0 && cfg_.min_rate > 0);
 }
 
-dcqcn_source::~dcqcn_source() {
-  if (sink_ != nullptr) paths_.unbind(flow_id_);
+dcqcn_source::~dcqcn_source() { disconnect(); }
+
+void dcqcn_source::disconnect() {
+  events().cancel(pace_timer_);  // pending start event or pacing tick
+  if (sink_ != nullptr) {
+    paths_.unbind(flow_id_);
+    sink_ = nullptr;
+  }
+  paths_ = path_set{};
 }
 
 void dcqcn_source::connect(dcqcn_sink& sink, path_set paths,
@@ -41,7 +48,9 @@ void dcqcn_source::connect(dcqcn_sink& sink, path_set paths,
           ? UINT64_MAX
           : (flow_bytes + payload_per_packet() - 1) / payload_per_packet();
   start_time_ = start;
-  events().schedule_at(*this, start);
+  // The start event shares the pacing handle so disconnect() can cancel a
+  // flow that never started.
+  pace_timer_ = events().schedule_at(*this, start);
 }
 
 void dcqcn_source::do_next_event() {

@@ -61,6 +61,11 @@ class dcqcn_source final : public packet_sink, public event_source {
                std::uint32_t dst_host, std::uint64_t flow_bytes,
                simtime_t start);
 
+  /// Teardown hook (flow recycling): cancel the pending start/pacing timer
+  /// and unbind both demux endpoints.  Idempotent; also invoked by the
+  /// destructor.
+  void disconnect();
+
   void receive(packet& p) override;  // ACKs and CNPs
   void do_next_event() override;     // pacing + timers
 

@@ -15,7 +15,7 @@ namespace {
 
 class ndp_flow final : public flow {
  public:
-  ndp_flow(sim_env& env, topology& topo, pull_pacer& pacer, std::uint32_t fid,
+  ndp_flow(sim_env& env, pull_pacer& pacer, path_set ps, std::uint32_t fid,
            std::uint32_t s, std::uint32_t d, const flow_options& o) {
     ndp_source_config sc;
     sc.mss_bytes = o.mss_bytes;
@@ -29,8 +29,12 @@ class ndp_flow final : public flow {
     kc.mss_bytes = o.mss_bytes;
     kc.pull_class = o.pull_class;
     sink_ = std::make_unique<ndp_sink>(env, pacer, kc, fid);
-    source_->connect(*sink_, topo.paths().sample(env, s, d, o.max_paths), s,
-                     d, o.bytes, o.start);
+    source_->connect(*sink_, ps, s, d, o.bytes, o.start);
+  }
+
+  void retire() override {
+    source_->disconnect();
+    sink_->disconnect();
   }
 
   [[nodiscard]] std::uint64_t payload_received() const override {
@@ -57,7 +61,7 @@ class ndp_flow final : public flow {
 
 class tcp_flow final : public flow {
  public:
-  tcp_flow(sim_env& env, topology& topo, bool dctcp, std::uint32_t fid,
+  tcp_flow(sim_env& env, bool dctcp, path_set ps, std::uint32_t fid,
            std::uint32_t s, std::uint32_t d, const flow_options& o) {
     tcp_config tc;
     tc.mss_bytes = o.mss_bytes;
@@ -73,14 +77,10 @@ class tcp_flow final : public flow {
                                              "tcp" + std::to_string(fid));
     }
     sink_ = std::make_unique<tcp_sink>(env, fid);
-    // Per-flow ECMP: one path, chosen by "hash" (uniform draw at creation).
-    const std::size_t n = topo.n_paths(s, d);
-    const std::size_t path =
-        o.fixed_path >= 0 ? static_cast<std::size_t>(o.fixed_path)
-                          : env.rand_below(n);
-    source_->connect(*sink_, topo.paths().single(s, d, path), s, d, o.bytes,
-                     o.start);
+    source_->connect(*sink_, ps, s, d, o.bytes, o.start);
   }
+
+  void retire() override { source_->disconnect(); }
 
   [[nodiscard]] std::uint64_t payload_received() const override {
     return sink_->payload_received();
@@ -101,8 +101,8 @@ class tcp_flow final : public flow {
 
 class mptcp_flow final : public flow {
  public:
-  mptcp_flow(sim_env& env, topology& topo, std::uint32_t fid, std::uint32_t s,
-             std::uint32_t d, const flow_options& o) {
+  mptcp_flow(sim_env& env, path_set ps, unsigned subflows, std::uint32_t fid,
+             std::uint32_t s, std::uint32_t d, const flow_options& o) {
     tcp_config tc;
     tc.mss_bytes = o.mss_bytes;
     tc.iw_mss = o.tcp_iw_mss;
@@ -111,13 +111,10 @@ class mptcp_flow final : public flow {
     tc.max_cwnd_mss = o.max_cwnd_mss;
     source_ = std::make_unique<mptcp_source>(env, tc, fid,
                                              "mptcp" + std::to_string(fid));
-    // Distinct paths for the subflows (seeded sample without replacement);
-    // extra subflows beyond the path count share routes round-robin.
-    const std::size_t n = topo.n_paths(s, d);
-    const std::size_t k = std::max<std::size_t>(1, o.subflows);
-    source_->connect(topo.paths().sample(env, s, d, std::min(k, n)),
-                     static_cast<unsigned>(k), s, d, o.bytes, o.start);
+    source_->connect(ps, subflows, s, d, o.bytes, o.start);
   }
+
+  void retire() override { source_->disconnect(); }
 
   [[nodiscard]] std::uint64_t payload_received() const override {
     return source_->total_payload_received();
@@ -136,21 +133,19 @@ class mptcp_flow final : public flow {
 
 class dcqcn_flow final : public flow {
  public:
-  dcqcn_flow(sim_env& env, topology& topo, std::uint32_t fid, std::uint32_t s,
-             std::uint32_t d, const flow_options& o) {
+  dcqcn_flow(sim_env& env, linkspeed_bps line_rate, path_set ps,
+             std::uint32_t fid, std::uint32_t s, std::uint32_t d,
+             const flow_options& o) {
     dcqcn_config dc;
     dc.mss_bytes = o.mss_bytes;
-    dc.line_rate = topo.host_link_speed(s);
+    dc.line_rate = line_rate;
     source_ = std::make_unique<dcqcn_source>(env, dc, fid,
                                              "dcqcn" + std::to_string(fid));
     sink_ = std::make_unique<dcqcn_sink>(env, fid);
-    const std::size_t n = topo.n_paths(s, d);
-    const std::size_t path =
-        o.fixed_path >= 0 ? static_cast<std::size_t>(o.fixed_path)
-                          : env.rand_below(n);
-    source_->connect(*sink_, topo.paths().single(s, d, path), s, d, o.bytes,
-                     o.start);
+    source_->connect(*sink_, ps, s, d, o.bytes, o.start);
   }
+
+  void retire() override { source_->disconnect(); }
 
   [[nodiscard]] std::uint64_t payload_received() const override {
     return sink_->payload_received();
@@ -170,7 +165,7 @@ class dcqcn_flow final : public flow {
 
 class phost_flow final : public flow {
  public:
-  phost_flow(sim_env& env, topology& topo, phost_token_pacer& pacer,
+  phost_flow(sim_env& env, phost_token_pacer& pacer, path_set ps,
              std::uint32_t fid, std::uint32_t s, std::uint32_t d,
              const flow_options& o) {
     phost_config pc;
@@ -178,8 +173,12 @@ class phost_flow final : public flow {
     source_ = std::make_unique<phost_source>(env, pc, fid,
                                              "phost" + std::to_string(fid));
     sink_ = std::make_unique<phost_sink>(env, pacer, pc, fid);
-    source_->connect(*sink_, topo.paths().sample(env, s, d, o.max_paths), s,
-                     d, o.bytes, o.start);
+    source_->connect(*sink_, ps, s, d, o.bytes, o.start);
+  }
+
+  void retire() override {
+    source_->disconnect();
+    sink_->disconnect();
   }
 
   [[nodiscard]] std::uint64_t payload_received() const override {
@@ -227,51 +226,125 @@ phost_token_pacer& flow_factory::phost_pacer(std::uint32_t host) {
 flow& flow_factory::create(protocol proto, std::uint32_t src,
                            std::uint32_t dst, const flow_options& opts) {
   NDPSIM_ASSERT(src != dst);
-  // MPTCP subflows use a block of ids.
-  const std::uint32_t fid = next_flow_id_;
-  next_flow_id_ += proto == protocol::mptcp ? opts.subflows + 1 : 1;
+  // MPTCP subflows use a block of ids.  Recycled blocks (exact span match)
+  // are preferred over fresh ids so long-running churn keeps the id space —
+  // and with it every per-host demux — at its steady-state size.  Taken
+  // from the FRONT of the free queue: the id that has been dead longest is
+  // the one whose stale packets have had the most time to drain.
+  const std::uint32_t span =
+      proto == protocol::mptcp ? opts.subflows + 1 : 1;
+  const unsigned subflows =
+      static_cast<unsigned>(std::max<std::uint32_t>(1, opts.subflows));
+  std::uint32_t fid;
+  auto freed = free_ids_.find(span);
+  if (freed != free_ids_.end() && !freed->second.empty()) {
+    fid = freed->second.front();
+    freed->second.pop_front();
+  } else {
+    fid = next_flow_id_;
+    next_flow_id_ += span;
+  }
+
+  // The connection's borrowed path view, drawn here so the factory can hand
+  // pooled subsets back to the table when the flow is destroyed.
+  path_set ps;
+  switch (proto) {
+    case protocol::ndp:
+    case protocol::phost:
+      ps = topo_.paths().sample(env_, src, dst, opts.max_paths);
+      break;
+    case protocol::tcp:
+    case protocol::dctcp:
+    case protocol::dcqcn: {
+      // Per-flow ECMP: one path, chosen by "hash" (uniform draw at creation).
+      const std::size_t n = topo_.n_paths(src, dst);
+      const std::size_t path =
+          opts.fixed_path >= 0 ? static_cast<std::size_t>(opts.fixed_path)
+                               : env_.rand_below(n);
+      ps = topo_.paths().single(src, dst, path);
+      break;
+    }
+    case protocol::mptcp:
+      // Distinct paths for the subflows (seeded sample without replacement);
+      // extra subflows beyond the path count share routes round-robin.
+      ps = topo_.paths().sample(
+          env_, src, dst,
+          std::min<std::size_t>(subflows, topo_.n_paths(src, dst)));
+      break;
+  }
 
   std::unique_ptr<flow> f;
   switch (proto) {
     case protocol::ndp:
-      f = std::make_unique<ndp_flow>(env_, topo_, ndp_pacer(dst), fid, src,
-                                     dst, opts);
+      f = std::make_unique<ndp_flow>(env_, ndp_pacer(dst), ps, fid, src, dst,
+                                     opts);
       break;
     case protocol::tcp:
-      f = std::make_unique<tcp_flow>(env_, topo_, false, fid, src, dst, opts);
+      f = std::make_unique<tcp_flow>(env_, false, ps, fid, src, dst, opts);
       break;
     case protocol::dctcp:
-      f = std::make_unique<tcp_flow>(env_, topo_, true, fid, src, dst, opts);
+      f = std::make_unique<tcp_flow>(env_, true, ps, fid, src, dst, opts);
       break;
     case protocol::mptcp:
-      f = std::make_unique<mptcp_flow>(env_, topo_, fid, src, dst, opts);
+      f = std::make_unique<mptcp_flow>(env_, ps, subflows, fid, src, dst,
+                                       opts);
       break;
     case protocol::dcqcn:
-      f = std::make_unique<dcqcn_flow>(env_, topo_, fid, src, dst, opts);
+      f = std::make_unique<dcqcn_flow>(env_, topo_.host_link_speed(src), ps,
+                                       fid, src, dst, opts);
       break;
     case protocol::phost:
-      f = std::make_unique<phost_flow>(env_, topo_, phost_pacer(dst), fid, src,
+      f = std::make_unique<phost_flow>(env_, phost_pacer(dst), ps, fid, src,
                                        dst, opts);
       break;
   }
   f->id = fid;
+  f->id_span_ = span;
   f->src = src;
   f->dst = dst;
   f->bytes = opts.bytes;
   f->start_time = opts.start;
+  f->paths = ps;
+
+  ++live_;
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    f->slot_ = slot;
+    flows_[slot] = std::move(f);
+    return *flows_[slot];
+  }
+  f->slot_ = static_cast<std::uint32_t>(flows_.size());
   flows_.push_back(std::move(f));
   return *flows_.back();
 }
 
+void flow_factory::destroy(flow& f) {
+  NDPSIM_ASSERT_MSG(f.slot_ < flows_.size() && flows_[f.slot_].get() == &f,
+                    "destroying a flow this factory does not own");
+  f.retire();  // transports first: timers cancelled, demux entries unbound
+  topo_.paths().release(f.paths);  // then the pooled subset arrays
+  free_ids_[f.id_span_].push_back(f.id);
+  const std::uint32_t slot = f.slot_;
+  flows_[slot].reset();  // f is dead from here
+  free_slots_.push_back(slot);
+  --live_;
+  ++destroyed_;
+}
+
 std::uint64_t flow_factory::total_payload_received() const {
   std::uint64_t total = 0;
-  for (const auto& f : flows_) total += f->payload_received();
+  for (const auto& f : flows_) {
+    if (f != nullptr) total += f->payload_received();
+  }
   return total;
 }
 
 std::size_t flow_factory::completed_count() const {
   std::size_t n = 0;
-  for (const auto& f : flows_) n += f->complete() ? 1 : 0;
+  for (const auto& f : flows_) {
+    if (f != nullptr) n += f->complete() ? 1 : 0;
+  }
   return n;
 }
 

@@ -3,6 +3,7 @@
 // token pacers).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -50,6 +51,12 @@ class flow {
   [[nodiscard]] virtual bool complete() const = 0;
   [[nodiscard]] virtual simtime_t completion_time() const = 0;
   virtual void on_complete(std::function<void()> cb) = 0;
+  /// Uniform teardown hook: disconnect every transport endpoint underneath
+  /// (cancel pending timers, leave shared pacer rings, unbind the
+  /// `flow_demux` entries at both hosts).  Idempotent; called by
+  /// `flow_factory::destroy` before the flow object is freed, so teardown is
+  /// explicit rather than destructor-order-dependent.
+  virtual void retire() = 0;
   /// Receiver-side priority (NDP pull classes); no-op elsewhere.
   virtual void set_priority(std::uint8_t /*cls*/) {}
   /// Per-packet delivery latency samples (NDP only).
@@ -63,11 +70,20 @@ class flow {
   std::uint32_t dst = 0;
   std::uint64_t bytes = 0;
   simtime_t start_time = 0;
+  /// The borrowed multipath view the connection runs over; kept on the
+  /// handle so `flow_factory::destroy` can return pooled subset arrays to
+  /// the path table after the transports are disconnected.
+  path_set paths;
 
   /// Completion time relative to the flow's start, in microseconds.
   [[nodiscard]] double fct_us() const {
     return complete() ? to_us(completion_time() - start_time) : -1.0;
   }
+
+ private:
+  friend class flow_factory;
+  std::uint32_t slot_ = UINT32_MAX;  ///< index in the factory's flow table
+  std::uint32_t id_span_ = 1;        ///< ids consumed (MPTCP uses a block)
 };
 
 class flow_factory {
@@ -78,24 +94,50 @@ class flow_factory {
   flow& create(protocol proto, std::uint32_t src, std::uint32_t dst,
                const flow_options& opts);
 
+  /// Create/destroy symmetry (flow recycling): retire the flow's transports
+  /// (cancel timers, leave pacer rings, unbind demux entries), return its
+  /// pooled path subset to the topology's path table, free the flow object
+  /// and recycle its id (block) for a future `create`.  The reference — and
+  /// every pointer to the flow — is dead after this call.  Must not be
+  /// called from inside one of the flow's own callbacks (defer to a
+  /// scheduled event; `flow_recycler` does).
+  void destroy(flow& f);
+
   /// The shared per-host pull pacer (created on demand).
   [[nodiscard]] pull_pacer& ndp_pacer(std::uint32_t host);
   [[nodiscard]] phost_token_pacer& phost_pacer(std::uint32_t host);
 
+  /// Flow table: destroyed flows leave null holes that a future `create`
+  /// refills, so indexes are stable but entries can be null — skip them when
+  /// iterating.
   [[nodiscard]] const std::vector<std::unique_ptr<flow>>& flows() const {
     return flows_;
   }
   [[nodiscard]] std::uint64_t total_payload_received() const;
   [[nodiscard]] std::size_t completed_count() const;
+  /// Currently live (created, not destroyed) flows.
+  [[nodiscard]] std::size_t live_count() const { return live_; }
+  /// Flows destroyed over the factory's lifetime.
+  [[nodiscard]] std::uint64_t destroyed_count() const { return destroyed_; }
 
  private:
   sim_env& env_;
   topology& topo_;
   std::vector<std::unique_ptr<flow>> flows_;
+  std::vector<std::uint32_t> free_slots_;
+  // Recycled flow-id blocks, keyed by block span (MPTCP consumes
+  // `subflows + 1` ids; everything else 1).  Reuse is exact-span so a
+  // recycled block can never partially overlap a live one, and FIFO so a
+  // just-freed id goes to the back of the queue: the longest-dead id is
+  // rebound first, maximizing the time between teardown and reuse that the
+  // stale-drop window relies on.
+  std::unordered_map<std::uint32_t, std::deque<std::uint32_t>> free_ids_;
   std::unordered_map<std::uint32_t, std::unique_ptr<pull_pacer>> pull_pacers_;
   std::unordered_map<std::uint32_t, std::unique_ptr<phost_token_pacer>>
       token_pacers_;
   std::uint32_t next_flow_id_ = 1;
+  std::size_t live_ = 0;
+  std::uint64_t destroyed_ = 0;
 };
 
 }  // namespace ndpsim

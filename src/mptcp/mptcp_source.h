@@ -55,6 +55,12 @@ class mptcp_source {
     on_complete_ = std::move(cb);
   }
 
+  /// Teardown hook (flow recycling): disconnect every subflow (cancel its
+  /// timers, unbind its demux entries).  Idempotent.
+  void disconnect() {
+    for (auto& sf : subflows_) sf->disconnect();
+  }
+
   [[nodiscard]] bool complete() const { return completed_; }
   [[nodiscard]] simtime_t completion_time() const { return completion_time_; }
   [[nodiscard]] std::uint64_t bytes_acked() const { return total_acked_; }

@@ -17,6 +17,11 @@ void ndp_sink::bind(path_set paths, std::uint32_t local_host,
   remote_host_ = remote_host;
 }
 
+void ndp_sink::disconnect() {
+  pacer_.remove(*this);
+  paths_ = path_set{};
+}
+
 void ndp_sink::receive(packet& p) {
   NDPSIM_ASSERT_MSG(p.type == packet_type::ndp_data,
                     "ndp_sink received non-data packet");

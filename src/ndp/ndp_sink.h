@@ -45,6 +45,12 @@ class ndp_sink final : public packet_sink {
   void bind(path_set paths, std::uint32_t local_host,
             std::uint32_t remote_host);
 
+  /// Teardown hook (flow recycling): leave the pull pacer's rings eagerly so
+  /// the pacer holds no pointer to this sink, and drop the borrowed path
+  /// view.  Idempotent; after this the sink can be destroyed safely even if
+  /// the pacer lives on.
+  void disconnect();
+
   void receive(packet& p) override;
 
   /// Fires once, when every packet of a finite flow has been received.

@@ -17,8 +17,16 @@ ndp_source::ndp_source(sim_env& env, ndp_source_config cfg,
   NDPSIM_ASSERT(cfg_.iw_packets >= 1);
 }
 
-ndp_source::~ndp_source() {
-  if (sink_ != nullptr) net_paths_.unbind(flow_id_);
+ndp_source::~ndp_source() { disconnect(); }
+
+void ndp_source::disconnect() {
+  events().cancel(rto_timer_);  // start event or RTO backstop, whichever is armed
+  rto_heap_ = {};
+  if (sink_ != nullptr) {
+    net_paths_.unbind(flow_id_);
+    sink_ = nullptr;
+  }
+  net_paths_ = path_set{};
 }
 
 void ndp_source::connect(ndp_sink& sink, path_set paths,
@@ -45,7 +53,10 @@ void ndp_source::connect(ndp_sink& sink, path_set paths,
   paths_ = std::make_unique<path_selector>(env_, net_paths_.size(), cfg_.mode,
                                            cfg_.penalty);
   start_time_ = start;
-  events().schedule_at(*this, start);
+  // The start event shares the RTO backstop's handle: it is the only pending
+  // event until the first send arms a real deadline, and keeping it in the
+  // handle lets disconnect() cancel a not-yet-started flow cleanly.
+  rto_timer_ = events().schedule_at(*this, start);
 }
 
 void ndp_source::do_next_event() {

@@ -70,6 +70,13 @@ class ndp_source final : public packet_sink, public event_source {
                std::uint32_t dst_host, std::uint64_t flow_bytes,
                simtime_t start, packet_sink* rx_endpoint = nullptr);
 
+  /// Teardown hook (flow recycling): cancel the pending start/RTO timer,
+  /// unbind both demux endpoints and drop the borrowed path view.
+  /// Idempotent; also invoked by the destructor, so a connected source can
+  /// be destroyed at any point without leaving a dangling event-list entry
+  /// or demux binding behind.
+  void disconnect();
+
   void receive(packet& p) override;  // ACK/NACK/PULL/bounced headers
   void do_next_event() override;     // start push + RTO backstop
 

@@ -1,5 +1,7 @@
 #include "ndp/pull_pacer.h"
 
+#include <algorithm>
+
 #include "ndp/ndp_sink.h"
 
 namespace ndpsim {
@@ -27,6 +29,18 @@ void pull_pacer::purge(ndp_sink& sink) {
   // With the last pull gone, the armed release timer is cancelled instead of
   // firing into an empty queue.
   if (backlog_ == 0) events().cancel(timer_);
+}
+
+void pull_pacer::remove(ndp_sink& sink) {
+  purge(sink);
+  if (sink.in_ring_) {
+    // Scan every class: a re-classed sink can sit in a ring other than its
+    // current pull_class() until the pacer rotates past it.
+    for (auto& ring : rings_) {
+      ring.erase(std::remove(ring.begin(), ring.end(), &sink), ring.end());
+    }
+    sink.in_ring_ = false;
+  }
 }
 
 bool pull_pacer::any_pending() const { return backlog_ > 0; }

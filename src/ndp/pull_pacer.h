@@ -30,7 +30,13 @@ class pull_pacer final : public event_source {
   void enqueue(ndp_sink& sink);
 
   /// Remove all pulls owed on behalf of `sink` (its transfer completed).
+  /// The ring entry itself is dropped lazily, so the sink must stay alive
+  /// until the pacer next rotates past it — use `remove` for teardown.
   void purge(ndp_sink& sink);
+
+  /// Eagerly purge AND drop the ring entry: after this the pacer holds no
+  /// pointer to `sink`, making it safe to destroy (flow recycling).
+  void remove(ndp_sink& sink);
 
   /// Optional jitter on the pacing interval, used to replay the measured
   /// imperfect pull spacing of the Linux implementation (Figs 12/13).

@@ -25,13 +25,26 @@ namespace ndpsim {
 /// O(flows-at-this-host) memory per host — not O(total-flows), which at
 /// k=32 churn scale would cost more than the shared routes save — and one
 /// multiply+probe per delivered packet.
+///
+/// Under flow churn the table both grows and shrinks: unbinding below 1/8
+/// load rehashes into a table sized for the live flows, so a host that once
+/// terminated a burst does not keep burst-sized probe arrays forever.
+///
+/// A delivered packet whose flow has no endpoint is a hard error by default
+/// (a silently dropped packet usually means a wiring bug).  Recycling changes
+/// that: after a flow is torn down, packets already in flight for it may
+/// still arrive, and they must be dropped — not misdelivered to whichever
+/// flow inherits the id next.  `set_stale_pool` opts into that mode: unbound
+/// deliveries are returned to the packet pool and counted instead.
 class flow_demux final : public packet_sink {
  public:
   flow_demux() = default;
 
   void bind(std::uint32_t flow_id, packet_sink* endpoint) {
     NDPSIM_ASSERT(endpoint != nullptr);
-    if (slots_.empty() || (bound_ + 1) * 2 > slots_.size()) grow();
+    if (slots_.empty() || (bound_ + 1) * 2 > slots_.size()) {
+      rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    }
     slot& s = find_slot(flow_id);
     // A silently stolen slot would misdeliver every packet of the first
     // flow to the second flow's endpoint (same id, so the endpoint's own
@@ -70,6 +83,14 @@ class flow_demux final : public packet_sink {
         i = j;
       }
     }
+    // Shrink when load drops below 1/8 so churn does not pin the table at
+    // its high-water size; rehash to 1/4 load so the next few binds do not
+    // immediately grow it back.
+    if (slots_.size() > 16 && bound_ * 8 < slots_.size()) {
+      std::size_t target = 16;
+      while (target < bound_ * 4) target *= 2;
+      rehash(target);
+    }
   }
 
   [[nodiscard]] packet_sink* endpoint_for(std::uint32_t flow_id) const {
@@ -83,12 +104,26 @@ class flow_demux final : public packet_sink {
     return nullptr;
   }
   [[nodiscard]] std::size_t bound_count() const { return bound_; }
+  /// Current probe-table size (tests: shrink behaviour under churn).
+  [[nodiscard]] std::size_t table_size() const { return slots_.size(); }
+
+  /// Opt into dropping deliveries for unbound flows (returning the packet to
+  /// `pool`) instead of treating them as a wiring bug.  Required once flows
+  /// are recycled: packets still in flight when their flow is torn down are
+  /// stale, and must die here rather than reach the id's next owner.
+  void set_stale_pool(packet_pool* pool) { stale_pool_ = pool; }
+  [[nodiscard]] std::uint64_t stale_drops() const { return stale_drops_; }
 
   void receive(packet& p) override {
     packet_sink* ep = endpoint_for(p.flow_id);
-    NDPSIM_ASSERT_MSG(ep != nullptr,
-                      "no endpoint bound for flow " << p.flow_id
-                                                    << " at host demux");
+    if (ep == nullptr) {
+      NDPSIM_ASSERT_MSG(stale_pool_ != nullptr,
+                        "no endpoint bound for flow " << p.flow_id
+                                                      << " at host demux");
+      ++stale_drops_;
+      stale_pool_->release(&p);
+      return;
+    }
     ep->receive(p);
   }
 
@@ -111,9 +146,9 @@ class flow_demux final : public packet_sink {
     return slots_[i];
   }
 
-  void grow() {
+  void rehash(std::size_t new_size) {
     std::vector<slot> old = std::move(slots_);
-    slots_.assign(old.empty() ? 16 : old.size() * 2, slot{});
+    slots_.assign(new_size, slot{});
     for (const slot& s : old) {
       if (s.ep != nullptr) {
         slot& dst = find_slot(s.key);
@@ -124,6 +159,8 @@ class flow_demux final : public packet_sink {
 
   std::vector<slot> slots_;  ///< power-of-two size
   std::size_t bound_ = 0;
+  packet_pool* stale_pool_ = nullptr;  ///< non-null = drop unbound deliveries
+  std::uint64_t stale_drops_ = 0;
 };
 
 /// Borrowed view of a multipath route set: forward/reverse route arrays
@@ -131,12 +168,33 @@ class flow_demux final : public packet_sink {
 /// rev[i] traverse the same switches in opposite directions) plus the demuxes
 /// at the two ends.  Cheap to copy; the owner must outlive every connection
 /// using it.
+///
+/// Borrow rules (the `path_set` lifetime contract):
+///  * The view is valid from the moment the owner hands it out until the
+///    owner dies — or, for pooled subset views (`pool_token != 0`, produced
+///    by `path_table::sample` when it caps the set), until the subset is
+///    returned via `path_table::release`.  After release the arrays are
+///    recycled for a future flow: a released view (and every copy of it,
+///    including the ones transports stored at connect time) must never be
+///    dereferenced again.
+///  * Release order is therefore: tear the transports down first (cancel
+///    timers, unbind the demux entries), release the subset second.  The
+///    `flow_factory::destroy` / `flow_recycler` path does this.
+///  * The `const route*`s *inside* the arrays are interned fabric state and
+///    remain valid for the table's lifetime — only the pointer arrays are
+///    pooled.  A stale packet already in flight keeps a valid route even
+///    after its flow's subset was released.
 struct path_set {
   const route* const* fwd = nullptr;
   const route* const* rev = nullptr;
   std::uint32_t n = 0;
   flow_demux* src_demux = nullptr;  ///< terminal of the reverse routes
   flow_demux* dst_demux = nullptr;  ///< terminal of the forward routes
+  /// Non-zero for pooled subset arrays owned by a `path_table`: the handle
+  /// `path_table::release` uses to return the arrays to its free pool.
+  /// Zero for shared (`all`/`single`) and manually built views, whose
+  /// storage is not per-flow and is never released.
+  std::uint32_t pool_token = 0;
 
   [[nodiscard]] std::size_t size() const { return n; }
   [[nodiscard]] bool empty() const { return n == 0; }

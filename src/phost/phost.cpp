@@ -15,8 +15,15 @@ phost_source::phost_source(sim_env& env, phost_config cfg,
   NDPSIM_ASSERT(cfg_.mss_bytes > kHeaderBytes);
 }
 
-phost_source::~phost_source() {
-  if (sink_ != nullptr) net_paths_.unbind(flow_id_);
+phost_source::~phost_source() { disconnect(); }
+
+void phost_source::disconnect() {
+  events().cancel(start_timer_);
+  if (sink_ != nullptr) {
+    net_paths_.unbind(flow_id_);
+    sink_ = nullptr;
+  }
+  net_paths_ = path_set{};
 }
 
 void phost_source::connect(phost_sink& sink, path_set paths,
@@ -38,7 +45,7 @@ void phost_source::connect(phost_sink& sink, path_set paths,
                                            path_mode::random_per_packet,
                                            path_penalty_config{.enabled = false});
   start_time_ = start;
-  events().schedule_at(*this, start);
+  start_timer_ = events().schedule_at(*this, start);
 }
 
 void phost_source::do_next_event() {
@@ -120,6 +127,14 @@ void phost_token_pacer::activate(phost_sink& sink) {
 
 void phost_token_pacer::deactivate(phost_sink& sink) { sink.active_ = false; }
 
+void phost_token_pacer::remove(phost_sink& sink) {
+  sink.active_ = false;
+  if (sink.in_ring_) {
+    ring_.erase(std::remove(ring_.begin(), ring_.end(), &sink), ring_.end());
+    sink.in_ring_ = false;
+  }
+}
+
 void phost_token_pacer::kick() {
   if (ring_.empty() || events().is_pending(timer_)) return;
   events().reschedule(timer_, *this, std::max(env_.now(), next_send_));
@@ -169,6 +184,11 @@ void phost_sink::bind(path_set paths, std::uint32_t local_host,
   paths_ = paths;
   local_host_ = local_host;
   remote_host_ = remote_host;
+}
+
+void phost_sink::disconnect() {
+  pacer_.remove(*this);
+  paths_ = path_set{};
 }
 
 bool phost_sink::wants_token() const {

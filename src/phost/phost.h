@@ -51,6 +51,11 @@ class phost_source final : public packet_sink, public event_source {
                std::uint32_t dst_host, std::uint64_t flow_bytes,
                simtime_t start);
 
+  /// Teardown hook (flow recycling): cancel the pending start event and
+  /// unbind both demux endpoints.  Idempotent; also invoked by the
+  /// destructor.
+  void disconnect();
+
   void receive(packet& p) override;  // tokens
   void do_next_event() override;     // start
 
@@ -75,6 +80,7 @@ class phost_source final : public packet_sink, public event_source {
   std::uint64_t credit_used_ = 0;
   std::uint64_t packets_sent_ = 0;
   simtime_t start_time_ = 0;
+  timer_handle start_timer_;  ///< the one scheduled start event
   bool started_ = false;
 };
 
@@ -86,6 +92,9 @@ class phost_token_pacer final : public event_source {
 
   void activate(phost_sink& sink);
   void deactivate(phost_sink& sink);
+  /// Eagerly deactivate AND drop the ring entry: after this the pacer holds
+  /// no pointer to `sink`, making it safe to destroy (flow recycling).
+  void remove(phost_sink& sink);
   void kick();  ///< re-evaluate after state changes
 
   void do_next_event() override;
@@ -110,6 +119,10 @@ class phost_sink final : public packet_sink {
             std::uint32_t remote_host);
 
   void receive(packet& p) override;  // RTS + data
+
+  /// Teardown hook (flow recycling): leave the token pacer's ring eagerly
+  /// and drop the borrowed path view.  Idempotent.
+  void disconnect();
 
   void set_complete_callback(std::function<void()> cb) {
     on_complete_ = std::move(cb);

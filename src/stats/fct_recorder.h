@@ -1,6 +1,7 @@
 // Flow-completion-time bookkeeping shared by experiments.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -13,10 +14,15 @@ namespace ndpsim {
 
 class fct_recorder {
  public:
-  void flow_started(std::uint32_t flow_id, simtime_t at, std::uint64_t bytes) {
+  /// `epoch` tags the record with the flow's churn generation (0 for one-shot
+  /// experiments): with recycled flow ids, (flow_id, epoch) — not flow_id
+  /// alone — identifies one transfer across a long-running run.
+  void flow_started(std::uint32_t flow_id, simtime_t at, std::uint64_t bytes,
+                    std::uint32_t epoch = 0) {
     NDPSIM_ASSERT_MSG(open_.find(flow_id) == open_.end(),
                       "flow started twice: " << flow_id);
-    open_[flow_id] = info{at, bytes};
+    open_[flow_id] = info{at, bytes, epoch};
+    max_epoch_ = std::max(max_epoch_, epoch);
   }
 
   void flow_completed(std::uint32_t flow_id, simtime_t at) {
@@ -24,7 +30,8 @@ class fct_recorder {
     NDPSIM_ASSERT_MSG(it != open_.end(), "unknown flow completed: " << flow_id);
     const simtime_t fct = at - it->second.start;
     NDPSIM_ASSERT(fct >= 0);
-    done_.push_back(record{flow_id, it->second.start, at, it->second.bytes});
+    done_.push_back(record{flow_id, it->second.start, at, it->second.bytes,
+                           it->second.epoch});
     fct_us_.add(to_us(fct));
     open_.erase(it);
   }
@@ -34,6 +41,7 @@ class fct_recorder {
     simtime_t start;
     simtime_t end;
     std::uint64_t bytes;
+    std::uint32_t epoch = 0;  ///< churn generation the flow belonged to
   };
 
   /// Fold another recorder's completed flows into this one (flow ids are
@@ -41,9 +49,27 @@ class fct_recorder {
   void merge_from(const fct_recorder& other) {
     done_.insert(done_.end(), other.done_.begin(), other.done_.end());
     for (double v : other.fct_us_.raw()) fct_us_.add(v);
+    max_epoch_ = std::max(max_epoch_, other.max_epoch_);
   }
 
   [[nodiscard]] std::size_t completed() const { return done_.size(); }
+  /// Highest epoch tag seen on a started flow.
+  [[nodiscard]] std::uint32_t max_epoch() const { return max_epoch_; }
+  /// Completed flows tagged with `epoch` (per-generation breakdown).
+  [[nodiscard]] std::size_t completed_in_epoch(std::uint32_t epoch) const {
+    std::size_t n = 0;
+    for (const record& r : done_) n += r.epoch == epoch ? 1 : 0;
+    return n;
+  }
+  /// Completion times of one epoch, microseconds (steady-state comparisons:
+  /// epoch 0 includes cold-start effects that later generations do not).
+  [[nodiscard]] sample_set fct_us_epoch(std::uint32_t epoch) const {
+    sample_set s;
+    for (const record& r : done_) {
+      if (r.epoch == epoch) s.add(to_us(r.end - r.start));
+    }
+    return s;
+  }
   [[nodiscard]] std::size_t still_open() const { return open_.size(); }
   [[nodiscard]] const std::vector<record>& records() const { return done_; }
   /// All completion times, microseconds.
@@ -55,10 +81,12 @@ class fct_recorder {
   struct info {
     simtime_t start;
     std::uint64_t bytes;
+    std::uint32_t epoch = 0;
   };
   std::unordered_map<std::uint32_t, info> open_;
   std::vector<record> done_;
   sample_set fct_us_;
+  std::uint32_t max_epoch_ = 0;
 };
 
 }  // namespace ndpsim

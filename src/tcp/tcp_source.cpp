@@ -21,8 +21,15 @@ tcp_source::tcp_source(sim_env& env, tcp_config cfg, std::uint32_t flow_id,
   rto_ = std::max(cfg_.min_rto, srtt_ + 4 * rttvar_);
 }
 
-tcp_source::~tcp_source() {
-  if (sink_ != nullptr) paths_.unbind(flow_id_);
+tcp_source::~tcp_source() { disconnect(); }
+
+void tcp_source::disconnect() {
+  events().cancel(rto_timer_);  // pending start event or RTO, whichever
+  if (sink_ != nullptr) {
+    paths_.unbind(flow_id_);
+    sink_ = nullptr;
+  }
+  paths_ = path_set{};
 }
 
 void tcp_source::connect(tcp_sink& sink, path_set paths,
@@ -41,7 +48,9 @@ void tcp_source::connect(tcp_sink& sink, path_set paths,
   flow_bytes_ = flow_bytes;
   remaining_ = flow_bytes == 0 ? UINT64_MAX : flow_bytes;
   start_time_ = start;
-  events().schedule_at(*this, start);
+  // The start event shares the RTO handle so disconnect() can cancel a flow
+  // that never started; the first arm_rto after start re-arms it.
+  rto_timer_ = events().schedule_at(*this, start);
 }
 
 void tcp_source::do_next_event() {

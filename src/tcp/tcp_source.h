@@ -53,6 +53,12 @@ class tcp_source : public packet_sink, public event_source {
                std::uint32_t dst_host, std::uint64_t flow_bytes,
                simtime_t start);
 
+  /// Teardown hook (flow recycling): cancel the pending start/RTO timer and
+  /// unbind both demux endpoints.  Idempotent; also invoked by the
+  /// destructor, so a connected source can be destroyed at any point without
+  /// dangling event-list entries or demux bindings.
+  void disconnect();
+
   void receive(packet& p) override;  // ACKs
   void do_next_event() override;     // start + RTO timer
 

@@ -29,8 +29,26 @@ path_table::path_table(topology& topo) : topo_(topo) {
 
 flow_demux& path_table::demux(std::uint32_t host) {
   NDPSIM_ASSERT_MSG(host < demux_.size(), "host out of range");
-  if (demux_[host] == nullptr) demux_[host] = std::make_unique<flow_demux>();
+  if (demux_[host] == nullptr) {
+    demux_[host] = std::make_unique<flow_demux>();
+    demux_[host]->set_stale_pool(stale_pool_);
+  }
   return *demux_[host];
+}
+
+void path_table::enable_stale_drop(packet_pool& pool) {
+  stale_pool_ = &pool;
+  for (const auto& d : demux_) {
+    if (d != nullptr) d->set_stale_pool(stale_pool_);
+  }
+}
+
+std::uint64_t path_table::stale_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& d : demux_) {
+    if (d != nullptr) n += d->stale_drops();
+  }
+  return n;
 }
 
 packet_sink** path_table::alloc_hops(std::size_t n) {
@@ -113,16 +131,54 @@ path_set path_table::sample(sim_env& env, std::uint32_t src, std::uint32_t dst,
     std::swap(idx[i], idx[j]);
   }
 
-  auto& [sf, sr] = subsets_.emplace_back();
-  sf.reserve(max_paths);
-  sr.reserve(max_paths);
+  // Take a free slot of this exact size if one exists (returned by a
+  // recycled flow); the arrays are overwritten in place, so the same memory
+  // serves one live flow after another without growing the deque.
+  std::uint32_t slot_idx;
+  auto pooled = free_subsets_.find(max_paths);
+  if (pooled != free_subsets_.end() && !pooled->second.empty()) {
+    slot_idx = pooled->second.back();
+    pooled->second.pop_back();
+    subsets_[slot_idx].free = false;
+    subsets_[slot_idx].fwd.clear();
+    subsets_[slot_idx].rev.clear();
+  } else {
+    slot_idx = static_cast<std::uint32_t>(subsets_.size());
+    subsets_.emplace_back();
+    subsets_[slot_idx].fwd.reserve(max_paths);
+    subsets_[slot_idx].rev.reserve(max_paths);
+  }
+  subset_slot& s = subsets_[slot_idx];
   for (std::size_t i = 0; i < max_paths; ++i) {
     ensure_path(e, src, dst, idx[i]);
-    sf.push_back(e.fwd[idx[i]]);
-    sr.push_back(e.rev[idx[i]]);
+    s.fwd.push_back(e.fwd[idx[i]]);
+    s.rev.push_back(e.rev[idx[i]]);
   }
-  return path_set{sf.data(), sr.data(), static_cast<std::uint32_t>(max_paths),
-                  &demux(src), &demux(dst)};
+  path_set ps{s.fwd.data(), s.rev.data(),
+              static_cast<std::uint32_t>(max_paths), &demux(src), &demux(dst)};
+  ps.pool_token = slot_idx + 1;  // 0 stays "not pooled"
+  return ps;
+}
+
+void path_table::release(const path_set& ps) {
+  if (ps.pool_token == 0) return;  // shared or manual view: nothing to pool
+  const std::uint32_t slot_idx = ps.pool_token - 1;
+  NDPSIM_ASSERT_MSG(slot_idx < subsets_.size(), "bad subset pool token");
+  subset_slot& s = subsets_[slot_idx];
+  NDPSIM_ASSERT_MSG(!s.free, "subset released twice");
+  NDPSIM_ASSERT_MSG(s.fwd.data() == ps.fwd && s.rev.data() == ps.rev,
+                    "pool token does not match the released view");
+  s.free = true;
+  free_subsets_[s.fwd.size()].push_back(slot_idx);
+}
+
+std::size_t path_table::free_subset_arrays() const {
+  std::size_t n = 0;
+  for (const auto& [size, idxs] : free_subsets_) {
+    (void)size;
+    n += idxs.size();
+  }
+  return n;
 }
 
 path_set path_table::single(std::uint32_t src, std::uint32_t dst,
@@ -154,8 +210,8 @@ std::size_t path_table::resident_bytes() const {
     (void)key;
     bytes += (e.fwd.capacity() + e.rev.capacity()) * sizeof(const route*);
   }
-  for (const auto& [sf, sr] : subsets_) {
-    bytes += (sf.capacity() + sr.capacity()) * sizeof(const route*);
+  for (const auto& s : subsets_) {
+    bytes += (s.fwd.capacity() + s.rev.capacity()) * sizeof(const route*);
   }
   return bytes;
 }

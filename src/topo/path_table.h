@@ -47,8 +47,19 @@ class path_table {
   /// every flow onto the low core/agg switches.  Distinct calls can return
   /// distinct subsets (each draw advances the env's RNG); only the sampled
   /// paths are interned.
+  ///
+  /// A capped subset's pointer arrays come from a free pool (the returned
+  /// view carries a non-zero `pool_token`); hand them back with `release`
+  /// when the flow is torn down, after which the view must not be used.
   [[nodiscard]] path_set sample(sim_env& env, std::uint32_t src,
                                 std::uint32_t dst, std::size_t max_paths);
+
+  /// Return a sampled subset's pointer arrays to the free pool so a future
+  /// `sample` can reuse them.  No-op for unpooled views (`pool_token == 0`:
+  /// `all`/`single` results, slices, manual sets).  Double release asserts.
+  /// Call only after every transport holding the view has been unbound —
+  /// see the borrow rules in net/path_set.h.
+  void release(const path_set& ps);
 
   /// Single-path view (per-flow-ECMP transports: TCP, DCQCN).
   [[nodiscard]] path_set single(std::uint32_t src, std::uint32_t dst,
@@ -63,6 +74,13 @@ class path_table {
   /// Per-host terminal demux (endpoint registry).
   [[nodiscard]] flow_demux& demux(std::uint32_t host);
 
+  /// Recycling mode: deliveries for unbound flows at any of this table's
+  /// demuxes (stale packets of torn-down flows) are dropped back into `pool`
+  /// instead of asserting.  Applies to existing and future demuxes.
+  void enable_stale_drop(packet_pool& pool);
+  /// Stale packets dropped across all demuxes.
+  [[nodiscard]] std::uint64_t stale_drops() const;
+
   // --- introspection (tests, benches) -----------------------------------
   /// Distinct (src, dst, path) routes interned so far (forward + reverse
   /// count as one path).
@@ -70,6 +88,11 @@ class path_table {
   /// Resident bytes of shared route state: hop arena + route objects +
   /// pair/subset pointer arrays.
   [[nodiscard]] std::size_t resident_bytes() const;
+  /// Subset pointer-array slots ever created / currently in the free pool.
+  /// Their difference is the number of live sampled subsets: flat over a
+  /// steady-state churn run when flows release on teardown.
+  [[nodiscard]] std::size_t subset_arrays() const { return subsets_.size(); }
+  [[nodiscard]] std::size_t free_subset_arrays() const;
 
  private:
   struct pair_entry {
@@ -96,15 +119,21 @@ class path_table {
   std::size_t hops_total_ = 0;
 
   // Per-sample subset pointer arrays (deque: views stay valid as flows add
-  // more subsets).  Retained for the table's lifetime — ~2 x max_paths
-  // pointers per capped-multipath connect, which matches the harness's
-  // current lifecycle (flow_factory never frees flows, and each live flow's
-  // transport state dwarfs its subset array).  Reclaiming them belongs to
-  // the flow-teardown work item in ROADMAP.md.
-  std::deque<std::pair<std::vector<const route*>, std::vector<const route*>>>
-      subsets_;
+  // more subsets).  Slots are pooled: `release` marks a slot free and
+  // `sample` refills a free slot of matching size before creating a new one,
+  // so steady-state churn holds the slot count at the peak number of
+  // concurrently live subsets instead of growing with every flow arrival.
+  struct subset_slot {
+    std::vector<const route*> fwd, rev;
+    bool free = false;
+  };
+  std::deque<subset_slot> subsets_;
+  // Free slots bucketed by array size (exact-size reuse: closed-loop churn
+  // resamples with the same max_paths, so buckets stay hot).
+  std::unordered_map<std::size_t, std::vector<std::uint32_t>> free_subsets_;
 
   std::vector<std::unique_ptr<flow_demux>> demux_;  // [host], lazy
+  packet_pool* stale_pool_ = nullptr;  ///< forwarded to every demux when set
   std::size_t interned_ = 0;
 };
 

@@ -16,9 +16,7 @@ cbr_source::cbr_source(sim_env& env, linkspeed_bps rate,
   NDPSIM_ASSERT(jitter_frac_ >= 0.0 && jitter_frac_ < 1.0);
 }
 
-cbr_source::~cbr_source() {
-  if (dst_demux_ != nullptr) dst_demux_->unbind(flow_id_);
-}
+cbr_source::~cbr_source() { disconnect(); }
 
 void cbr_source::start(path_set paths, packet_sink* rx, std::uint32_t src,
                        std::uint32_t dst, simtime_t start_at) {

@@ -63,6 +63,17 @@ class cbr_source final : public event_source {
   /// Stop sending (cancels the pending send timer).
   void stop() { events().cancel(timer_); }
 
+  /// Teardown hook (flow recycling): stop sending and unbind the receiving
+  /// endpoint from the destination demux.  Idempotent; also invoked by the
+  /// destructor.
+  void disconnect() {
+    stop();
+    if (dst_demux_ != nullptr) {
+      dst_demux_->unbind(flow_id_);
+      dst_demux_ = nullptr;
+    }
+  }
+
   [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
 
  private:

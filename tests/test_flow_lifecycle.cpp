@@ -1,0 +1,343 @@
+// The flow lifecycle engine: create/destroy symmetry, flow-id recycling,
+// pooled path subsets, demux shrink + stale-packet handling, and the
+// closed-loop flow_recycler.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/experiments.h"
+#include "harness/flow_recycler.h"
+#include "net/fifo_queues.h"
+#include "sim/assert.h"
+#include "topo/fat_tree.h"
+#include "topo/path_table.h"
+#include "test_util.h"
+
+namespace ndpsim {
+namespace {
+
+queue_factory droptail_factory(sim_env& env) {
+  return [&env](link_level, std::size_t, linkspeed_bps rate,
+                const std::string& name) -> std::unique_ptr<queue_base> {
+    return std::make_unique<drop_tail_queue>(env, rate, 100 * 9000, name);
+  };
+}
+
+fat_tree_config ft_cfg(unsigned k) {
+  fat_tree_config c;
+  c.k = k;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// flow_factory create/destroy symmetry and flow-id recycling.
+// ---------------------------------------------------------------------------
+
+TEST(flow_lifecycle, destroy_frees_slot_and_recycles_id) {
+  fabric_params fp;
+  fp.proto = protocol::ndp;
+  auto bed = make_fat_tree_testbed(3, 4, fp);
+  flow_options o;
+  o.bytes = 5 * 8936;
+
+  flow& a = bed->flows->create(protocol::ndp, 0, 15, o);
+  const std::uint32_t id_a = a.id;
+  run_until_complete(bed->env, {&a}, from_ms(50));
+  ASSERT_TRUE(a.complete());
+  EXPECT_EQ(bed->flows->live_count(), 1u);
+
+  bed->flows->destroy(a);
+  EXPECT_EQ(bed->flows->live_count(), 0u);
+  EXPECT_EQ(bed->flows->destroyed_count(), 1u);
+
+  // The replacement reuses both the table slot and the flow id.
+  o.start = bed->env.now();
+  flow& b = bed->flows->create(protocol::ndp, 0, 15, o);
+  EXPECT_EQ(b.id, id_a);
+  EXPECT_EQ(bed->flows->flows().size(), 1u);
+
+  // ...and the recycled id rebinds to the new endpoints: the flow runs to
+  // completion with payload delivered to the *new* sink.
+  run_until_complete(bed->env, {&b}, bed->env.now() + from_ms(50));
+  EXPECT_TRUE(b.complete());
+  EXPECT_EQ(b.payload_received(), o.bytes);
+}
+
+TEST(flow_lifecycle, mptcp_id_blocks_recycle_by_exact_span) {
+  fabric_params fp;
+  fp.proto = protocol::mptcp;
+  auto bed = make_fat_tree_testbed(4, 4, fp);
+  flow_options o;
+  o.bytes = 200'000;
+  o.subflows = 4;
+
+  flow& m = bed->flows->create(protocol::mptcp, 0, 15, o);
+  const std::uint32_t block = m.id;  // spans [block, block + 4]
+  run_until_complete(bed->env, {&m}, from_ms(200));
+  ASSERT_TRUE(m.complete());
+  bed->flows->destroy(m);
+
+  // A single-id flow must NOT carve ids out of the recycled 5-wide block...
+  o.start = bed->env.now();
+  flow& s = bed->flows->create(protocol::ndp, 1, 14, o);
+  EXPECT_NE(s.id, block);
+  // ...but the next same-span MPTCP connection takes the whole block back.
+  flow& m2 = bed->flows->create(protocol::mptcp, 2, 13, o);
+  EXPECT_EQ(m2.id, block);
+}
+
+TEST(flow_lifecycle, destroy_unbinds_demux_entries) {
+  fabric_params fp;
+  fp.proto = protocol::ndp;
+  auto bed = make_fat_tree_testbed(5, 4, fp);
+  flow_options o;
+  o.bytes = 3 * 8936;
+  flow& f = bed->flows->create(protocol::ndp, 0, 15, o);
+  path_table& pt = bed->topo->paths();
+  EXPECT_EQ(pt.demux(0).bound_count(), 1u);
+  EXPECT_EQ(pt.demux(15).bound_count(), 1u);
+  run_until_complete(bed->env, {&f}, from_ms(50));
+  ASSERT_TRUE(f.complete());
+  bed->flows->destroy(f);
+  EXPECT_EQ(pt.demux(0).bound_count(), 0u);
+  EXPECT_EQ(pt.demux(15).bound_count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Stale packets for a dead flow: dropped, not misdelivered.
+// ---------------------------------------------------------------------------
+
+TEST(flow_lifecycle, stale_packet_for_dead_flow_is_dropped_when_enabled) {
+  sim_env env;
+  fat_tree ft(env, ft_cfg(4), droptail_factory(env));
+  ft.paths().enable_stale_drop(env.pool);
+  flow_demux& d = ft.paths().demux(15);
+
+  testing::recording_sink live_ep(env);
+  d.bind(7, &live_ep);
+
+  // A packet for an unbound (torn down) flow id dies at the demux...
+  packet* stale = env.pool.alloc();
+  stale->type = packet_type::ndp_ack;
+  stale->flow_id = 99;
+  d.receive(*stale);
+  EXPECT_EQ(d.stale_drops(), 1u);
+  EXPECT_EQ(ft.paths().stale_drops(), 1u);
+  EXPECT_EQ(live_ep.count(), 0u);  // ...and is NOT handed to another flow
+
+  // ...while a packet for the live flow still reaches its endpoint.
+  packet* good = env.pool.alloc();
+  good->type = packet_type::ndp_ack;
+  good->flow_id = 7;
+  d.receive(*good);
+  EXPECT_EQ(live_ep.count(), 1u);
+  EXPECT_EQ(d.stale_drops(), 1u);
+  EXPECT_EQ(env.pool.outstanding(), 0u);  // both packets returned to the pool
+}
+
+TEST(flow_lifecycle, unbound_delivery_still_asserts_without_stale_policy) {
+  sim_env env;
+  fat_tree ft(env, ft_cfg(4), droptail_factory(env));
+  flow_demux& d = ft.paths().demux(15);
+  packet* p = env.pool.alloc();
+  p->flow_id = 42;
+  EXPECT_THROW(d.receive(*p), simulation_error);
+  env.pool.release(p);
+}
+
+// ---------------------------------------------------------------------------
+// Pooled subset arrays in path_table::sample.
+// ---------------------------------------------------------------------------
+
+TEST(flow_lifecycle, released_subset_array_is_reused_bitwise) {
+  sim_env env;
+  fat_tree ft(env, ft_cfg(4), droptail_factory(env));
+  path_table& pt = ft.paths();
+
+  path_set a = pt.sample(env, 0, 15, 2);
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_NE(a.pool_token, 0u);
+  const route* const* storage = a.fwd;
+
+  // A second sample while `a` is live must NOT alias its arrays.
+  path_set b = pt.sample(env, 0, 15, 2);
+  ASSERT_NE(b.pool_token, 0u);
+  EXPECT_NE(b.fwd, a.fwd);
+  EXPECT_EQ(pt.subset_arrays(), 2u);
+
+  // Releasing `a` and sampling the same size reuses `a`'s storage bitwise
+  // (same pointer array, refilled) instead of growing the pool...
+  const route* b0 = b.forward(0);
+  const route* b1 = b.forward(1);
+  pt.release(a);
+  EXPECT_EQ(pt.free_subset_arrays(), 1u);
+  path_set c = pt.sample(env, 0, 15, 2);
+  EXPECT_EQ(c.fwd, storage);
+  EXPECT_EQ(pt.subset_arrays(), 2u);
+  EXPECT_EQ(pt.free_subset_arrays(), 0u);
+
+  // ...and the live set `b` is untouched by the recycling.
+  EXPECT_EQ(b.forward(0), b0);
+  EXPECT_EQ(b.forward(1), b1);
+}
+
+TEST(flow_lifecycle, subset_double_release_asserts) {
+  sim_env env;
+  fat_tree ft(env, ft_cfg(4), droptail_factory(env));
+  path_set a = ft.paths().sample(env, 0, 15, 2);
+  ft.paths().release(a);
+  EXPECT_THROW(ft.paths().release(a), simulation_error);
+}
+
+TEST(flow_lifecycle, uncapped_and_single_views_are_not_pooled) {
+  sim_env env;
+  fat_tree ft(env, ft_cfg(4), droptail_factory(env));
+  path_set all = ft.paths().all(0, 15);
+  path_set one = ft.paths().single(0, 15, 0);
+  EXPECT_EQ(all.pool_token, 0u);
+  EXPECT_EQ(one.pool_token, 0u);
+  ft.paths().release(all);  // no-ops
+  ft.paths().release(one);
+  EXPECT_EQ(ft.paths().subset_arrays(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// flow_demux shrink under churn.
+// ---------------------------------------------------------------------------
+
+TEST(flow_lifecycle, demux_table_shrinks_after_mass_unbind) {
+  flow_demux d;
+  struct null_sink final : packet_sink {
+    void receive(packet&) override {}
+  } ep;
+  for (std::uint32_t i = 1; i <= 1024; ++i) d.bind(i, &ep);
+  const std::size_t peak = d.table_size();
+  EXPECT_GE(peak, 2048u);  // load kept <= 1/2 on the way up
+
+  for (std::uint32_t i = 1; i <= 1019; ++i) d.unbind(i);
+  EXPECT_EQ(d.bound_count(), 5u);
+  // Churn must not pin the probe table at its high-water size.
+  EXPECT_LE(d.table_size(), 64u);
+  // The survivors are still found after the rehashes.
+  for (std::uint32_t i = 1020; i <= 1024; ++i) {
+    EXPECT_EQ(d.endpoint_for(i), &ep);
+  }
+  EXPECT_EQ(d.endpoint_for(5), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// The flow_recycler: closed-loop churn end to end.
+// ---------------------------------------------------------------------------
+
+TEST(flow_lifecycle, recycler_closed_loop_holds_memory_flat) {
+  fabric_params fp;
+  fp.proto = protocol::ndp;
+  auto bed = make_fat_tree_testbed(9, 4, fp);
+  const std::size_t pop = 8;
+
+  // Fixed pairs 0->8, 1->9, ... cycled across generations.
+  std::uint64_t cursor = 0;
+  auto pick = [&cursor, pop](sim_env&) {
+    const std::uint32_t src = static_cast<std::uint32_t>(cursor++ % pop);
+    return std::make_pair(src, static_cast<std::uint32_t>(src + pop));
+  };
+  // Pre-intern so the flatness check measures churn, not lazy interning.
+  for (std::uint32_t s = 0; s < pop; ++s) {
+    (void)bed->topo->paths().all(s, s + pop);
+  }
+
+  recycler_config rc;
+  rc.proto = protocol::ndp;
+  rc.opts.bytes = 5 * 8936;
+  rc.opts.max_paths = 2;
+  rc.linger = from_us(100);
+  flow_recycler rec(bed->env, *bed->topo, *bed->flows, rc, pick);
+  rec.start(pop);
+
+  while (rec.generations() < 1 && bed->env.events.run_next_event()) {
+  }
+  const std::size_t warm_slots = bed->flows->flows().size();
+  const std::size_t warm_subsets = bed->topo->paths().subset_arrays();
+  const std::size_t warm_bytes = bed->topo->paths().resident_bytes();
+
+  while (rec.generations() < 5 && bed->env.events.run_next_event()) {
+  }
+  rec.stop();
+
+  EXPECT_GE(rec.flows_recycled(), 4 * pop);
+  EXPECT_EQ(bed->flows->flows().size(), warm_slots);
+  EXPECT_EQ(bed->topo->paths().subset_arrays(), warm_subsets);
+  EXPECT_EQ(bed->topo->paths().resident_bytes(), warm_bytes);
+  EXPECT_LE(bed->flows->live_count(), pop + rec.lingering());
+
+  // Per-generation FCT epochs: every completed generation recorded `pop`
+  // flows, and later epochs exist (the recorder tags by generation).
+  const fct_recorder& fcts = rec.fcts();
+  EXPECT_GE(fcts.max_epoch(), 4u);
+  EXPECT_EQ(fcts.completed_in_epoch(1), pop);
+  EXPECT_EQ(fcts.completed_in_epoch(2), pop);
+  EXPECT_GT(fcts.fct_us_epoch(1).size(), 0u);
+}
+
+TEST(flow_lifecycle, recycler_open_loop_poisson_arrivals_recycle_ids) {
+  fabric_params fp;
+  fp.proto = protocol::tcp;
+  auto bed = make_fat_tree_testbed(10, 4, fp);
+
+  auto pick = [](sim_env& env) {
+    const auto src = static_cast<std::uint32_t>(env.rand_below(8));
+    return std::make_pair(src, static_cast<std::uint32_t>(src + 8));
+  };
+  recycler_config rc;
+  rc.proto = protocol::tcp;
+  rc.opts.bytes = 2 * 8936;
+  rc.opts.handshake = false;
+  rc.linger = from_us(100);
+  rc.open_rate_per_sec = 200'000;  // ~one arrival per 5us
+  rc.max_starts = 60;
+  flow_recycler rec(bed->env, *bed->topo, *bed->flows, rc, pick);
+  rec.start(4);
+
+  bed->env.events.run_until(from_ms(20));
+  rec.stop();
+  bed->env.events.run_until(from_ms(40));
+
+  EXPECT_EQ(rec.flows_started(), 60u);
+  EXPECT_GE(rec.fcts().completed(), 55u);  // nearly all arrivals finished
+  EXPECT_GE(rec.flows_recycled(), 50u);
+  // Id recycling kept the id space far below one-id-per-arrival.
+  std::uint32_t max_id = 0;
+  for (const auto& f : bed->flows->flows()) {
+    if (f != nullptr) max_id = std::max(max_id, f->id);
+  }
+  EXPECT_LT(max_id, 30u);
+}
+
+TEST(flow_lifecycle, recycler_works_for_every_transport) {
+  for (protocol proto : {protocol::ndp, protocol::tcp, protocol::dctcp,
+                         protocol::mptcp, protocol::dcqcn, protocol::phost}) {
+    fabric_params fp;
+    fp.proto = proto;
+    auto bed = make_fat_tree_testbed(11, 4, fp);
+    std::uint64_t cursor = 0;
+    auto pick = [&cursor](sim_env&) {
+      const std::uint32_t src = static_cast<std::uint32_t>(cursor++ % 4);
+      return std::make_pair(src, static_cast<std::uint32_t>(src + 8));
+    };
+    recycler_config rc;
+    rc.proto = proto;
+    rc.opts.bytes = 3 * 8936;
+    rc.opts.subflows = 2;
+    rc.linger = from_us(200);
+    rc.max_starts = 12;
+    flow_recycler rec(bed->env, *bed->topo, *bed->flows, rc, pick);
+    rec.start(4);
+    bed->env.events.run_until(from_ms(400));
+    EXPECT_EQ(rec.flows_started(), 12u) << to_string(proto);
+    EXPECT_GE(rec.flows_recycled(), 8u) << to_string(proto);
+    EXPECT_EQ(rec.fcts().completed(), 12u) << to_string(proto);
+  }
+}
+
+}  // namespace
+}  // namespace ndpsim
