@@ -4,10 +4,12 @@
 Usage: check_bench.py COMMITTED.json CANDIDATE.json [--tolerance 0.2]
 
 Compares the rate metrics that are stable across iteration counts (figure
-events/sec, scheduler ops/sec, flow-churn flows/sec): the candidate may not
-fall more than `tolerance` below the committed value.  Being faster is never
-an error.  Metrics present in only one file are skipped, so the check keeps
-working while benchmark sections are added.
+events/sec, scheduler ops/sec, flow-churn flows/sec, route-setup routes/sec,
+fabric-setup instantiations/sec): the candidate may not fall more than
+`tolerance` below the committed value.  Being faster is never an error.
+Metrics present in only one file are skipped, so the check keeps working
+while benchmark sections are added (and while --quick runs omit the k=32
+fabric-setup/figure entries).
 """
 import argparse
 import json
@@ -29,9 +31,22 @@ def rate_metrics(doc):
     if "tick_dispatch" in sched:
         out["tick_dispatch.new_events_per_sec"] = sched["tick_dispatch"].get(
             "new_events_per_sec")
-    # route_setup is deliberately excluded: the interned side finishes in
-    # ~1ms, and at that scale allocation jitter alone spans >30% run to run
-    # (measured same-machine), which would make the gate cry wolf.
+    # route_setup's interned side finishes in ~1ms; the bench reports the
+    # best of interleaved rounds, which damps the allocation jitter enough
+    # for the 20% gate to watch it without crying wolf.
+    rsetup = doc.get("route_setup", {})
+    if "interned_routes_per_sec" in rsetup:
+        out["route_setup.interned_routes_per_sec"] = rsetup[
+            "interned_routes_per_sec"]
+    # fabric_setup: per-instance instantiation rate, keyed by k so the quick
+    # run (k=16 only) compares against the committed k=16 entry and the full
+    # run also gates k=32.
+    for fs in doc.get("fabric_setup", []):
+        k = fs.get("k")
+        if k is None:
+            continue
+        out[f"fabric_setup.k{k}.instantiates_per_sec"] = fs.get(
+            "instantiates_per_sec")
     churn = doc.get("flow_churn", {})
     if "recycling" in churn:
         out["flow_churn.recycling_flows_per_sec"] = churn["recycling"].get(

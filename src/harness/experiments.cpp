@@ -20,6 +20,15 @@ testbed::testbed(sim_env& external_env, fat_tree_config topo_cfg,
   init(std::move(topo_cfg));
 }
 
+testbed::testbed(sim_env& external_env,
+                 std::shared_ptr<const fabric_blueprint> bp,
+                 const fabric_params& fabric_in)
+    : env(external_env), fabric(fabric_in) {
+  topo = std::make_unique<fat_tree>(env, std::move(bp),
+                                    make_queue_factory(env, fabric));
+  flows = std::make_unique<flow_factory>(env, *topo);
+}
+
 void testbed::init(fat_tree_config topo_cfg) {
   topo_cfg.pfc = default_pfc(fabric);
   topo = std::make_unique<fat_tree>(env, topo_cfg, make_queue_factory(env, fabric));
@@ -36,6 +45,18 @@ std::unique_ptr<testbed> make_fat_tree_testbed(
   tc.oversubscription = oversubscription;
   tc.speed_override = std::move(speed_override);
   return std::make_unique<testbed>(seed, tc, fabric);
+}
+
+std::shared_ptr<const fabric_blueprint> make_fat_tree_blueprint(
+    unsigned k, const fabric_params& fabric, unsigned oversubscription,
+    std::function<linkspeed_bps(link_level, std::size_t, linkspeed_bps)>
+        speed_override) {
+  fat_tree_config tc;
+  tc.k = k;
+  tc.oversubscription = oversubscription;
+  tc.speed_override = std::move(speed_override);
+  tc.pfc = default_pfc(fabric);
+  return fabric_blueprint::fat_tree(std::move(tc));
 }
 
 permutation_result run_permutation(testbed& bed, protocol proto,

@@ -20,6 +20,13 @@ struct testbed {
   /// `parallel_runner`) instead of owning one.
   testbed(sim_env& external_env, fat_tree_config topo_cfg,
           const fabric_params& fabric);
+  /// Borrow an env AND a shared immutable blueprint: the structure/state
+  /// split for sweeps — every job stamps its own queues/pipes out of one
+  /// read-only blueprint instead of rebuilding the fabric (the blueprint's
+  /// pfc/link config must already match `fabric`; see
+  /// `make_fat_tree_blueprint`).  The blueprint must outlive the testbed.
+  testbed(sim_env& external_env, std::shared_ptr<const fabric_blueprint> bp,
+          const fabric_params& fabric);
 
  private:
   std::unique_ptr<sim_env> owned_env_;  ///< null when borrowing
@@ -36,6 +43,14 @@ struct testbed {
 [[nodiscard]] std::unique_ptr<testbed> make_fat_tree_testbed(
     std::uint64_t seed, unsigned k, const fabric_params& fabric,
     unsigned oversubscription = 1,
+    std::function<linkspeed_bps(link_level, std::size_t, linkspeed_bps)>
+        speed_override = {});
+
+/// Build the shared blueprint matching what `make_fat_tree_testbed` would
+/// wire for this fabric (including the protocol-implied PFC config), for
+/// handing to many per-env testbeds/instances at once.
+[[nodiscard]] std::shared_ptr<const fabric_blueprint> make_fat_tree_blueprint(
+    unsigned k, const fabric_params& fabric, unsigned oversubscription = 1,
     std::function<linkspeed_bps(link_level, std::size_t, linkspeed_bps)>
         speed_override = {});
 

@@ -7,9 +7,11 @@
 namespace ndpsim {
 
 queue_factory make_queue_factory(sim_env& env, const fabric_params& params) {
+  // Takes the lazy `name_ref` as-is (no formatting): at k=32 the fabric
+  // builds ~100k queues and eager names dominated construction.
   return [&env, params](link_level level, std::size_t /*index*/,
                         linkspeed_bps rate,
-                        const std::string& name) -> std::unique_ptr<queue_base> {
+                        name_ref name) -> std::unique_ptr<queue_base> {
     const std::uint64_t mtu = params.mtu_bytes;
     if (level == link_level::host_up) {
       // Window-based transports get a finite NIC (same sizing as the fabric

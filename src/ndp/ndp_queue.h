@@ -15,9 +15,8 @@
 // route from this switch; otherwise the header is dropped.
 #pragma once
 
-#include <deque>
-
 #include "net/queue.h"
+#include "net/ring_fifo.h"
 
 namespace ndpsim {
 
@@ -33,7 +32,7 @@ struct ndp_queue_config {
 class ndp_queue final : public queue_base {
  public:
   ndp_queue(sim_env& env, linkspeed_bps rate, ndp_queue_config cfg,
-            std::string name = "ndpq")
+            name_ref name = "ndpq")
       : queue_base(env, rate, std::move(name)), cfg_(cfg) {}
 
   [[nodiscard]] std::uint64_t buffered_bytes() const override {
@@ -67,8 +66,8 @@ class ndp_queue final : public queue_base {
   void bounce_or_drop(packet& p);
 
   ndp_queue_config cfg_;
-  std::deque<packet*> data_;
-  std::deque<packet*> hdr_;
+  ring_fifo<packet*> data_;
+  ring_fifo<packet*> hdr_;
   std::uint64_t data_bytes_ = 0;
   std::uint64_t hdr_bytes_ = 0;
   unsigned hdrs_since_data_ = 0;

@@ -3,9 +3,8 @@
 // queue used as end-host NICs.
 #pragma once
 
-#include <deque>
-
 #include "net/queue.h"
+#include "net/ring_fifo.h"
 
 namespace ndpsim {
 
@@ -13,7 +12,7 @@ namespace ndpsim {
 class drop_tail_queue : public queue_base {
  public:
   drop_tail_queue(sim_env& env, linkspeed_bps rate, std::uint64_t capacity_bytes,
-                  std::string name = "droptail")
+                  name_ref name = "droptail")
       : queue_base(env, rate, std::move(name)), capacity_(capacity_bytes) {}
 
   [[nodiscard]] std::uint64_t buffered_bytes() const override { return bytes_; }
@@ -45,7 +44,7 @@ class drop_tail_queue : public queue_base {
     fifo_.push_back(&p);
   }
 
-  std::deque<packet*> fifo_;
+  ring_fifo<packet*> fifo_;
   std::uint64_t bytes_ = 0;
   std::uint64_t capacity_;
 };
@@ -56,7 +55,7 @@ class ecn_threshold_queue final : public drop_tail_queue {
  public:
   ecn_threshold_queue(sim_env& env, linkspeed_bps rate,
                       std::uint64_t capacity_bytes, std::uint64_t mark_bytes,
-                      std::string name = "ecn")
+                      name_ref name = "ecn")
       : drop_tail_queue(env, rate, capacity_bytes, std::move(name)),
         mark_bytes_(mark_bytes) {}
 
@@ -84,7 +83,7 @@ class red_ecn_queue final : public drop_tail_queue {
  public:
   red_ecn_queue(sim_env& env, linkspeed_bps rate, std::uint64_t capacity_bytes,
                 std::uint64_t kmin_bytes, std::uint64_t kmax_bytes, double pmax,
-                std::string name = "red")
+                name_ref name = "red")
       : drop_tail_queue(env, rate, capacity_bytes, std::move(name)),
         kmin_(kmin_bytes),
         kmax_(kmax_bytes),
@@ -129,7 +128,7 @@ class red_ecn_queue final : public drop_tail_queue {
 class host_priority_queue final : public queue_base {
  public:
   host_priority_queue(sim_env& env, linkspeed_bps rate,
-                      std::string name = "hostnic",
+                      name_ref name = "hostnic",
                       std::uint64_t data_capacity_bytes = 0)
       : queue_base(env, rate, std::move(name)),
         data_capacity_(data_capacity_bytes) {}
@@ -174,8 +173,8 @@ class host_priority_queue final : public queue_base {
   }
 
  private:
-  std::deque<packet*> ctrl_;
-  std::deque<packet*> data_;
+  ring_fifo<packet*> ctrl_;
+  ring_fifo<packet*> data_;
   std::uint64_t bytes_ = 0;
   std::uint64_t data_bytes_ = 0;
   std::uint64_t data_capacity_;

@@ -14,10 +14,10 @@
 // hook that credits the tagged ingress.
 #pragma once
 
-#include <deque>
 #include <utility>
 
 #include "net/queue.h"
+#include "net/ring_fifo.h"
 
 namespace ndpsim {
 
@@ -27,7 +27,7 @@ class pfc_ingress final : public packet_sink, public event_source {
   /// the neighbour switch or a host NIC); `pause_delay` the link propagation.
   pfc_ingress(sim_env& env, queue_base* upstream, simtime_t pause_delay,
               std::uint64_t xoff_bytes, std::uint64_t xon_bytes,
-              std::string name = "pfc")
+              name_ref name = "pfc")
       : event_source(env.events, std::move(name)),
         upstream_(upstream),
         pause_delay_(pause_delay),
@@ -98,7 +98,7 @@ class pfc_ingress final : public packet_sink, public event_source {
   std::uint64_t buffered_ = 0;
   std::uint64_t pauses_sent_ = 0;
   bool pause_requested_ = false;
-  std::deque<std::pair<simtime_t, bool>> pending_;
+  ring_fifo<std::pair<simtime_t, bool>> pending_;
   timer_handle timer_;
 };
 

@@ -3,10 +3,10 @@
 // pipe can hold any number of packets in flight.
 #pragma once
 
-#include <deque>
 #include <utility>
 
 #include "net/packet.h"
+#include "net/ring_fifo.h"
 #include "net/route.h"
 #include "net/sim_env.h"
 #include "sim/eventlist.h"
@@ -15,7 +15,7 @@ namespace ndpsim {
 
 class pipe final : public packet_sink, public event_source {
  public:
-  pipe(sim_env& env, simtime_t delay, std::string name = "pipe")
+  pipe(sim_env& env, simtime_t delay, name_ref name = "pipe")
       : event_source(env.events, std::move(name)), delay_(delay) {
     NDPSIM_ASSERT(delay_ >= 0);
   }
@@ -49,7 +49,7 @@ class pipe final : public packet_sink, public event_source {
 
  private:
   simtime_t delay_;
-  std::deque<std::pair<simtime_t, packet*>> inflight_;
+  ring_fifo<std::pair<simtime_t, packet*>> inflight_;
   timer_handle timer_;
 };
 

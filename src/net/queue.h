@@ -38,7 +38,7 @@ class queue_base : public packet_sink, public event_source {
   friend class coexist_queue;
 
  public:
-  queue_base(sim_env& env, linkspeed_bps rate, std::string name)
+  queue_base(sim_env& env, linkspeed_bps rate, name_ref name)
       : event_source(env.events, std::move(name)), env_(env), rate_(rate) {
     NDPSIM_ASSERT(rate > 0);
   }

@@ -1,1 +1,24 @@
 #include "net/route.h"
+
+#include <array>
+
+namespace ndpsim {
+
+namespace {
+// Longest identity-resolved route supported.  Fabric routes top out around
+// 18 hops (6 links x 3 elements under PFC, plus the demux terminal);
+// hand-built test wiring stays far below this.
+constexpr std::size_t kMaxIdentityHops = 4096;
+}  // namespace
+
+const std::uint32_t* identity_slots(std::size_t n) {
+  static const auto table = [] {
+    std::array<std::uint32_t, kMaxIdentityHops> a{};
+    for (std::uint32_t i = 0; i < kMaxIdentityHops; ++i) a[i] = i;
+    return a;
+  }();
+  NDPSIM_ASSERT_MSG(n <= kMaxIdentityHops, "route too long for identity slots");
+  return table.data();
+}
+
+}  // namespace ndpsim

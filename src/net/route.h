@@ -8,10 +8,16 @@
 // opposite direction), which lets an NDP switch return a packet to its sender
 // from the middle of the path.
 //
-// `route` itself is a non-owning view: the hop array lives either in the
-// topology's `path_table` arena (interned fabric routes, one contiguous span
-// per route, shared by every flow on that path) or inside an `owned_route`
-// (hand-built wiring in tests and custom setups).
+// `route` itself is a non-owning view with one level of indirection: hop i
+// is `table[slots[i]]`, where `slots` is an immutable sequence of sink-slot
+// ids and `table` maps slot id -> live `packet_sink*`.  That split is what
+// lets fabric structure be shared across simulations (the blueprint/instance
+// split): the slot sequences live once in a `fabric_blueprint`'s structural
+// path table, shared read-only by every `sim_env`, while each
+// `fabric_instance` supplies its own sink table of materialized queues,
+// pipes and demuxes.  Hand-built routes (`owned_route`, the `path_table`
+// hop arena) use an identity slot sequence over their own sink storage, so
+// `at(i)` behaves exactly as before.
 //
 // Reverse-pointer lifetime contract: `reverse()` is a raw pointer, so the
 // reverse route (and the storage its hops view) must outlive every use of the
@@ -40,17 +46,30 @@ class packet_sink {
   virtual void receive(packet& p) = 0;
 };
 
+/// The shared identity slot sequence {0, 1, 2, ...}: routes over contiguous
+/// private hop storage use it so the two-level `table[slots[i]]` resolution
+/// collapses to `hops[i]`.  Asserts `n` within the (generous) static bound.
+[[nodiscard]] const std::uint32_t* identity_slots(std::size_t n);
+
 class route {
  public:
   route() = default;
-  /// View over externally-owned contiguous hop storage (path_table arena).
-  route(packet_sink* const* hops, std::uint32_t n) : hops_(hops), n_(n) {
-    NDPSIM_ASSERT_MSG(hops != nullptr && n > 0, "route view needs hops");
+  /// View over externally-owned contiguous hop storage (path_table arena,
+  /// owned_route): identity slots, hop i is `hops[i]`.
+  route(packet_sink* const* hops, std::uint32_t n)
+      : route(hops, identity_slots(n), n) {}
+  /// Slot-indexed view: hop i is `table[slots[i]]`.  `slots` is shared
+  /// immutable structure (a blueprint's interned path); `table` is the
+  /// owning instance's per-env sink table.  Both must outlive the view.
+  route(packet_sink* const* table, const std::uint32_t* slots, std::uint32_t n)
+      : table_(table), slots_(slots), n_(n) {
+    NDPSIM_ASSERT_MSG(table != nullptr && slots != nullptr && n > 0,
+                      "route view needs hops");
   }
 
   [[nodiscard]] packet_sink& at(std::size_t i) const {
     NDPSIM_ASSERT_MSG(i < n_, "route hop out of range");
-    return *hops_[i];
+    return *table_[slots_[i]];
   }
   [[nodiscard]] std::size_t size() const { return n_; }
   [[nodiscard]] bool empty() const { return n_ == 0; }
@@ -65,7 +84,8 @@ class route {
   void set_reverse(const route* r) { reverse_ = r; }
 
  protected:
-  packet_sink* const* hops_ = nullptr;
+  packet_sink* const* table_ = nullptr;
+  const std::uint32_t* slots_ = nullptr;
   std::uint32_t n_ = 0;
   const route* reverse_ = nullptr;
 };
@@ -84,15 +104,19 @@ class owned_route final : public route {
   void push_back(packet_sink* s) {
     NDPSIM_ASSERT(s != nullptr);
     store_.push_back(s);
-    hops_ = store_.data();
-    n_ = static_cast<std::uint32_t>(store_.size());
+    adopt_store();
   }
 
  private:
   void adopt(std::vector<packet_sink*> hops) {
     store_ = std::move(hops);
-    hops_ = store_.data();
+    adopt_store();
+  }
+
+  void adopt_store() {
+    table_ = store_.data();
     n_ = static_cast<std::uint32_t>(store_.size());
+    slots_ = identity_slots(store_.size());
   }
 
   std::vector<packet_sink*> store_;

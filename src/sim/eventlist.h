@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "sim/assert.h"
+#include "sim/name_ref.h"
 #include "sim/time.h"
 
 namespace ndpsim {
@@ -35,7 +36,7 @@ class event_list;
 /// Base class for anything that can be scheduled on the event list.
 class event_source {
  public:
-  event_source(event_list& events, std::string name)
+  event_source(event_list& events, name_ref name)
       : events_(events), name_(std::move(name)) {}
   virtual ~event_source() = default;
 
@@ -46,11 +47,12 @@ class event_source {
   virtual void do_next_event() = 0;
 
   [[nodiscard]] event_list& events() const { return events_; }
-  [[nodiscard]] const std::string& name() const { return name_; }
+  /// The component name, formatted on demand (see sim/name_ref.h).
+  [[nodiscard]] std::string name() const { return name_.str(); }
 
  private:
   event_list& events_;
-  std::string name_;
+  name_ref name_;
 };
 
 /// Token for one pending event.  Trivially copyable; default-constructed

@@ -1,0 +1,58 @@
+// Lazily-formatted component names.
+//
+// At k=32 a FatTree materializes ~100k queue/pipe objects; formatting and
+// heap-allocating a `std::string` name for each dominated fabric
+// construction even though names are only ever read when a human asks
+// (debugging, traces).  A `name_ref` defers that work: it is either a small
+// owned string (hand-built wiring keeps passing literals and concatenations,
+// unchanged) or a `(pool, id)` pair that formats on demand from an interned
+// pool — the `fabric_blueprint` implements `name_pool` and formats a name
+// from its link records, so constructing a queue from a blueprint costs no
+// formatting and no allocation.
+//
+// `name_ref` converts implicitly both ways (`std::string` -> `name_ref` and
+// `name_ref` -> `std::string`), so legacy queue factories written against
+// `const std::string&` keep working: the conversion formats eagerly at the
+// factory boundary, which is exactly the old behaviour.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ndpsim {
+
+/// Anything that can format a component name from an interned id.
+class name_pool {
+ public:
+  virtual ~name_pool() = default;
+  [[nodiscard]] virtual std::string format_name(std::uint32_t id) const = 0;
+};
+
+class name_ref {
+ public:
+  name_ref() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): by-design implicit, see above
+  name_ref(std::string owned) : owned_(std::move(owned)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  name_ref(const char* owned) : owned_(owned) {}
+  /// Lazy name: formatted by `pool` on demand.  The pool must outlive every
+  /// component named from it (the blueprint/instance lifetime contract).
+  name_ref(const name_pool& pool, std::uint32_t id) : pool_(&pool), id_(id) {}
+
+  /// Format (lazy refs) or copy (owned refs) the name.
+  [[nodiscard]] std::string str() const {
+    return pool_ != nullptr ? pool_->format_name(id_) : owned_;
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor): legacy factories take
+  // `const std::string&`; the conversion reproduces their eager formatting.
+  operator std::string() const { return str(); }
+
+  [[nodiscard]] bool lazy() const { return pool_ != nullptr; }
+
+ private:
+  const name_pool* pool_ = nullptr;
+  std::uint32_t id_ = 0;
+  std::string owned_;
+};
+
+}  // namespace ndpsim

@@ -1,0 +1,88 @@
+#include "topo/fabric_instance.h"
+
+#include "net/path_set.h"
+
+namespace ndpsim {
+
+fabric_instance::fabric_instance(sim_env& env,
+                                 std::shared_ptr<const fabric_blueprint> bp,
+                                 const queue_factory& make_queue)
+    : env_(env), bp_(std::move(bp)) {
+  NDPSIM_ASSERT_MSG(bp_ != nullptr, "fabric_instance needs a blueprint");
+  const auto& links = bp_->links();
+  const pfc_config& pfc = bp_->config().pfc;
+  sinks_.assign(bp_->n_slots(), nullptr);
+  queues_.reserve(links.size());
+  by_level_.resize(6);
+  for (auto& lvl : by_level_) lvl.reserve(links.size() / 6 + 1);
+
+  for (std::uint32_t id = 0; id < links.size(); ++id) {
+    const auto& l = links[id];
+    auto q = make_queue(l.level, l.index, l.rate, name_ref(*bp_, l.first_slot));
+    NDPSIM_ASSERT(q != nullptr);
+    pipes_.emplace_back(env_, l.delay, name_ref(*bp_, l.first_slot + 1));
+    sinks_[l.first_slot] = q.get();
+    sinks_[l.first_slot + 1] = &pipes_.back();
+    if (pfc.enabled) {
+      q->set_depart_hook(&pfc_ingress::credit_on_depart);
+    }
+    if (l.has_ingress) {
+      ingresses_.emplace_back(env_, q.get(), l.delay, pfc.xoff_bytes,
+                              pfc.xon_bytes, name_ref(*bp_, l.first_slot + 2));
+      sinks_[l.first_slot + 2] = &ingresses_.back();
+    }
+    by_level_[static_cast<std::size_t>(l.level)].push_back(q.get());
+    queues_.push_back(std::move(q));
+  }
+}
+
+route_pair fabric_instance::make_route_pair(std::uint32_t src,
+                                            std::uint32_t dst,
+                                            std::size_t path) {
+  auto build = [this](std::uint32_t a, std::uint32_t b, std::size_t p) {
+    std::vector<std::uint32_t> seq;
+    bp_->build_path(a, b, p, seq);
+    auto r = std::make_unique<owned_route>();
+    for (const std::uint32_t slot : seq) r->push_back(sinks_[slot]);
+    return r;
+  };
+  return {build(src, dst, path), build(dst, src, path)};
+}
+
+void fabric_instance::bind_demux_slot(std::uint32_t host, flow_demux* d) {
+  sinks_[bp_->demux_slot(host)] = d;
+}
+
+queue_stats fabric_instance::aggregate_stats(link_level level) const {
+  queue_stats total;
+  for (const queue_base* q : by_level_[static_cast<std::size_t>(level)]) {
+    const queue_stats& s = q->stats();
+    total.arrivals += s.arrivals;
+    total.forwarded += s.forwarded;
+    total.dropped += s.dropped;
+    total.trimmed += s.trimmed;
+    total.bounced += s.bounced;
+    total.marked += s.marked;
+    total.bytes_forwarded += s.bytes_forwarded;
+  }
+  return total;
+}
+
+const std::vector<queue_base*>& fabric_instance::queues_at(
+    link_level level) const {
+  return by_level_[static_cast<std::size_t>(level)];
+}
+
+std::size_t fabric_instance::resident_bytes() const {
+  std::size_t bytes = sinks_.capacity() * sizeof(packet_sink*) +
+                      queues_.capacity() * sizeof(void*) +
+                      pipes_.size() * sizeof(pipe) +
+                      ingresses_.size() * sizeof(pfc_ingress);
+  for (const auto& lvl : by_level_) bytes += lvl.capacity() * sizeof(void*);
+  // Queue objects themselves are factory-built subclasses of unknown size;
+  // count the base as a floor.
+  bytes += queues_.size() * sizeof(queue_base);
+  return bytes;
+}
+
+}  // namespace ndpsim

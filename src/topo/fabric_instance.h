@@ -1,0 +1,83 @@
+// Per-simulation fabric state, stamped out from a shared immutable
+// `fabric_blueprint`.
+//
+// A `fabric_instance` materializes the blueprint's link records into live
+// queues (via the experiment's `queue_factory`), pipes and PFC ingress
+// elements — all bound to one `sim_env` — and keeps them in a flat sink
+// table indexed by blueprint slot id.  Routes are the blueprint's interned
+// slot sequences resolved through that table (`net/route.h`), so N parallel
+// jobs over one blueprint share all structural route state and duplicate
+// only the mutable per-env objects.  Component names are lazy `name_ref`s
+// into the blueprint's name pool: instantiation formats nothing.
+//
+// Lifetime: the instance holds a shared_ptr keeping the blueprint alive;
+// the instance itself must outlive every flow connected over it (its
+// inherited `path_table` holds routes into the sink table).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "net/lossless.h"
+#include "net/pipe.h"
+#include "net/sim_env.h"
+#include "topo/fabric_blueprint.h"
+#include "topo/topology.h"
+
+namespace ndpsim {
+
+class fabric_instance : public topology {
+ public:
+  fabric_instance(sim_env& env, std::shared_ptr<const fabric_blueprint> bp,
+                  const queue_factory& make_queue);
+
+  [[nodiscard]] std::size_t n_hosts() const override { return bp_->n_hosts(); }
+  [[nodiscard]] std::size_t n_paths(std::uint32_t src,
+                                    std::uint32_t dst) const override {
+    return bp_->n_paths(src, dst);
+  }
+  [[nodiscard]] route_pair make_route_pair(std::uint32_t src,
+                                           std::uint32_t dst,
+                                           std::size_t path) override;
+  [[nodiscard]] linkspeed_bps host_link_speed(
+      std::uint32_t host) const override {
+    return bp_->host_link_speed(host);
+  }
+
+  [[nodiscard]] const fabric_blueprint* blueprint() const override {
+    return bp_.get();
+  }
+  [[nodiscard]] packet_sink* const* sink_table() const override {
+    return sinks_.data();
+  }
+  void bind_demux_slot(std::uint32_t host, flow_demux* d) override;
+
+  [[nodiscard]] const std::shared_ptr<const fabric_blueprint>& blueprint_ptr()
+      const {
+    return bp_;
+  }
+
+  /// Summed queue stats over all queues at one level (e.g. trims on uplinks).
+  [[nodiscard]] queue_stats aggregate_stats(link_level level) const;
+  /// All queues at a level (test/bench introspection), indexed like the
+  /// blueprint's per-level flat link indices.
+  [[nodiscard]] const std::vector<queue_base*>& queues_at(
+      link_level level) const;
+
+  /// Resident bytes of this instance's own state (estimate: sink table,
+  /// link object storage, bookkeeping — excludes the shared blueprint and
+  /// the per-env path table, which report separately).
+  [[nodiscard]] std::size_t resident_bytes() const;
+
+ private:
+  sim_env& env_;
+  std::shared_ptr<const fabric_blueprint> bp_;
+  std::vector<std::unique_ptr<queue_base>> queues_;  // [link id]
+  std::deque<pipe> pipes_;                           // [link id], pinned slab
+  std::deque<pfc_ingress> ingresses_;                // pinned slab (PFC only)
+  std::vector<packet_sink*> sinks_;  // [slot id]; demux slots filled lazily
+  std::vector<std::vector<queue_base*>> by_level_;
+};
+
+}  // namespace ndpsim

@@ -13,104 +13,55 @@
 // Link-speed overrides support the failure experiments (Fig 22: one
 // core<->agg link negotiated down to 1Gb/s). Optional PFC (lossless mode)
 // inserts per-link ingress buffer accounting for DCQCN.
+//
+// Structure/state split: the wiring itself lives in an immutable
+// `fabric_blueprint` (topo/fabric_blueprint.h) and this class is a
+// `fabric_instance` of it plus FatTree-geometry accessors.  The one-argument
+// constructor builds a private blueprint (the classic single-run shape); the
+// shared_ptr constructor stamps an instance out of a blueprint shared with
+// other simulations (e.g. one per `parallel_runner` job).
 #pragma once
 
 #include <memory>
-#include <vector>
 
-#include "net/lossless.h"
-#include "net/pipe.h"
-#include "net/sim_env.h"
-#include "topo/topology.h"
+#include "topo/fabric_instance.h"
 
 namespace ndpsim {
 
-struct pfc_config {
-  bool enabled = false;
-  std::uint64_t xoff_bytes = 25 * 9000;  ///< per-ingress pause threshold
-  std::uint64_t xon_bytes = 23 * 9000;
-};
-
-struct fat_tree_config {
-  unsigned k = 8;  ///< pods; must be even
-  unsigned oversubscription = 1;
-  linkspeed_bps link_speed = gbps(10);
-  simtime_t link_delay = from_us(1);
-  pfc_config pfc = {};
-  /// Optional per-link speed override (failure injection). Called with the
-  /// directed link's level/index and the default speed; returns the speed to
-  /// use. Leave empty for uniform fabric.
-  std::function<linkspeed_bps(link_level, std::size_t, linkspeed_bps)>
-      speed_override = {};
-};
-
-class fat_tree final : public topology {
+class fat_tree final : public fabric_instance {
  public:
-  fat_tree(sim_env& env, fat_tree_config cfg, const queue_factory& make_queue);
+  fat_tree(sim_env& env, fat_tree_config cfg, const queue_factory& make_queue)
+      : fabric_instance(env, fabric_blueprint::fat_tree(std::move(cfg)),
+                        make_queue) {}
+  /// Instantiate over a shared (possibly concurrently used) blueprint.
+  fat_tree(sim_env& env, std::shared_ptr<const fabric_blueprint> bp,
+           const queue_factory& make_queue)
+      : fabric_instance(env, std::move(bp), make_queue) {}
 
-  [[nodiscard]] std::size_t n_hosts() const override { return n_hosts_; }
-  [[nodiscard]] std::size_t n_paths(std::uint32_t src,
-                                    std::uint32_t dst) const override;
-  [[nodiscard]] route_pair make_route_pair(std::uint32_t src,
-                                           std::uint32_t dst,
-                                           std::size_t path) override;
-  [[nodiscard]] linkspeed_bps host_link_speed(std::uint32_t) const override {
-    return cfg_.link_speed;
+  [[nodiscard]] const fat_tree_config& config() const {
+    return blueprint()->config();
   }
-
-  [[nodiscard]] const fat_tree_config& config() const { return cfg_; }
-  [[nodiscard]] std::size_t n_tors() const { return n_tor_; }
-  [[nodiscard]] std::size_t n_aggs() const { return n_agg_; }
-  [[nodiscard]] std::size_t n_cores() const { return n_core_; }
-  [[nodiscard]] unsigned hosts_per_tor() const { return hosts_per_tor_; }
+  [[nodiscard]] std::size_t n_tors() const { return blueprint()->n_tors(); }
+  [[nodiscard]] std::size_t n_aggs() const { return blueprint()->n_aggs(); }
+  [[nodiscard]] std::size_t n_cores() const { return blueprint()->n_cores(); }
+  [[nodiscard]] unsigned hosts_per_tor() const {
+    return blueprint()->hosts_per_tor();
+  }
   [[nodiscard]] std::uint32_t tor_of(std::uint32_t host) const {
-    return host / hosts_per_tor_;
+    return blueprint()->tor_of(host);
   }
   [[nodiscard]] std::uint32_t pod_of(std::uint32_t host) const {
-    return tor_of(host) / half_k_;
+    return blueprint()->pod_of(host);
   }
-
-  /// Summed queue stats over all queues at one level (e.g. trims on uplinks).
-  [[nodiscard]] queue_stats aggregate_stats(link_level level) const;
-  /// All queues at a level (test/bench introspection).
-  [[nodiscard]] const std::vector<queue_base*>& queues_at(
-      link_level level) const;
 
   // Flat-index helpers for speed overrides (directed links).
   [[nodiscard]] std::size_t agg_up_index(unsigned pod, unsigned agg,
                                          unsigned port) const {
-    return (static_cast<std::size_t>(pod) * half_k_ + agg) * half_k_ + port;
+    return blueprint()->agg_up_index(pod, agg, port);
   }
   [[nodiscard]] std::size_t core_down_index(unsigned core, unsigned pod) const {
-    return static_cast<std::size_t>(core) * cfg_.k + pod;
+    return blueprint()->core_down_index(core, pod);
   }
-
- private:
-  struct link {
-    std::unique_ptr<queue_base> q;
-    std::unique_ptr<pipe> p;
-    std::unique_ptr<pfc_ingress> ingress;  ///< at the downstream end (PFC)
-  };
-
-  link make_link(link_level level, std::size_t index, const std::string& name,
-                 const queue_factory& make_queue, bool ingress_at_far_end);
-  void append_link(owned_route& r, const link& l) const;
-
-  sim_env& env_;
-  fat_tree_config cfg_;
-  unsigned half_k_;
-  unsigned hosts_per_tor_;
-  std::size_t n_tor_, n_agg_, n_core_, n_hosts_;
-
-  // Directed links, flat-indexed (see *_index helpers and .cpp layout notes).
-  std::vector<link> host_up_;    // [host]
-  std::vector<link> tor_up_;     // [tor][agg_local] -> tor*half_k + j
-  std::vector<link> agg_up_;     // [pod][agg][port] -> agg_up_index
-  std::vector<link> core_down_;  // [core][pod] -> core_down_index
-  std::vector<link> agg_down_;   // [pod][agg][tor_local]
-  std::vector<link> tor_down_;   // [tor][host_local]
-
-  std::vector<std::vector<queue_base*>> by_level_;
 };
 
 }  // namespace ndpsim

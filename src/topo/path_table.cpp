@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "topo/fabric_blueprint.h"
 #include "topo/topology.h"
 
 namespace ndpsim {
@@ -32,6 +33,9 @@ flow_demux& path_table::demux(std::uint32_t host) {
   if (demux_[host] == nullptr) {
     demux_[host] = std::make_unique<flow_demux>();
     demux_[host]->set_stale_pool(stale_pool_);
+    // Blueprint-backed topologies mount the demux at the host's sink slot so
+    // structural routes (which end at that slot) can resolve it.
+    topo_.bind_demux_slot(host, demux_[host].get());
   }
   return *demux_[host];
 }
@@ -86,29 +90,75 @@ path_table::pair_entry& path_table::entry_for(std::uint32_t src,
 
 void path_table::ensure_path(pair_entry& e, std::uint32_t src,
                              std::uint32_t dst, std::size_t path) {
-  NDPSIM_ASSERT_MSG(path < e.fwd.size(), "path index out of range");
-  if (e.fwd[path] != nullptr) return;
-  auto [f, r] = topo_.make_route_pair(src, dst, path);
-  NDPSIM_ASSERT_MSG(f != nullptr && r != nullptr && !f->empty() && !r->empty(),
-                    "topology built an empty route");
-  route* fi = intern_route(*f, &demux(dst));
-  route* ri = intern_route(*r, &demux(src));
-  fi->set_reverse(ri);
-  ri->set_reverse(fi);
-  // The reverse-pointer lifetime contract (net/route.h): both directions are
-  // co-interned and reciprocal, so neither can dangle while the table lives.
-  NDPSIM_ASSERT(fi->reverse()->reverse() == fi);
-  NDPSIM_ASSERT(ri->reverse()->reverse() == ri);
-  e.fwd[path] = fi;
-  e.rev[path] = ri;
-  ++e.built;
-  ++interned_;
+  ensure_paths(e, src, dst, &path, 1);
+}
+
+void path_table::ensure_paths(pair_entry& e, std::uint32_t src,
+                              std::uint32_t dst, const std::size_t* paths,
+                              std::size_t count) {
+  missing_scratch_.clear();
+  for (std::size_t i = 0; i < count; ++i) {
+    NDPSIM_ASSERT_MSG(paths[i] < e.fwd.size(), "path index out of range");
+    if (e.fwd[paths[i]] == nullptr) missing_scratch_.push_back(paths[i]);
+  }
+  if (missing_scratch_.empty()) return;
+
+  if (const fabric_blueprint* bp = topo_.blueprint(); bp != nullptr) {
+    // Structure/state split: the slot sequences are interned once in the
+    // shared blueprint (one lock for the whole batch; thread-safe across
+    // parallel jobs sharing it); this env only creates two 32-byte route
+    // views per path over its own sink table — no hop copying, no per-env
+    // arena.  The demuxes must exist first so the terminal slots resolve.
+    (void)demux(dst);
+    (void)demux(src);
+    views_scratch_.resize(missing_scratch_.size());
+    bp->structural_paths(src, dst, missing_scratch_.data(),
+                         missing_scratch_.size(), views_scratch_.data());
+    packet_sink* const* table = topo_.sink_table();
+    NDPSIM_ASSERT(table != nullptr);
+    for (std::size_t i = 0; i < missing_scratch_.size(); ++i) {
+      const auto& pv = views_scratch_[i];
+      routes_.emplace_back(table, pv.fwd.slots, pv.fwd.n);
+      route* fi = &routes_.back();
+      routes_.emplace_back(table, pv.rev.slots, pv.rev.n);
+      route* ri = &routes_.back();
+      fi->set_reverse(ri);
+      ri->set_reverse(fi);
+      e.fwd[missing_scratch_[i]] = fi;
+      e.rev[missing_scratch_[i]] = ri;
+      ++e.built;
+      ++interned_;
+    }
+    return;
+  }
+
+  for (const std::size_t path : missing_scratch_) {
+    auto [f, r] = topo_.make_route_pair(src, dst, path);
+    NDPSIM_ASSERT_MSG(
+        f != nullptr && r != nullptr && !f->empty() && !r->empty(),
+        "topology built an empty route");
+    route* fi = intern_route(*f, &demux(dst));
+    route* ri = intern_route(*r, &demux(src));
+    fi->set_reverse(ri);
+    ri->set_reverse(fi);
+    // The reverse-pointer lifetime contract (net/route.h): both directions
+    // are co-interned and reciprocal, so neither can dangle while the table
+    // lives.
+    NDPSIM_ASSERT(fi->reverse()->reverse() == fi);
+    NDPSIM_ASSERT(ri->reverse()->reverse() == ri);
+    e.fwd[path] = fi;
+    e.rev[path] = ri;
+    ++e.built;
+    ++interned_;
+  }
 }
 
 path_set path_table::all(std::uint32_t src, std::uint32_t dst) {
   pair_entry& e = entry_for(src, dst);
   if (e.built < e.fwd.size()) {
-    for (std::size_t p = 0; p < e.fwd.size(); ++p) ensure_path(e, src, dst, p);
+    idx_scratch_.resize(e.fwd.size());
+    for (std::size_t p = 0; p < e.fwd.size(); ++p) idx_scratch_[p] = p;
+    ensure_paths(e, src, dst, idx_scratch_.data(), idx_scratch_.size());
   }
   return path_set{e.fwd.data(), e.rev.data(),
                   static_cast<std::uint32_t>(e.fwd.size()), &demux(src),
@@ -124,12 +174,14 @@ path_set path_table::sample(sim_env& env, std::uint32_t src, std::uint32_t dst,
   // Seeded random subset without replacement (partial Fisher-Yates): taking
   // the first `max_paths` indices instead would always prefer the low
   // core/agg switches and pile every capped flow onto them.
-  std::vector<std::size_t> idx(n);
+  std::vector<std::size_t>& idx = idx_scratch_;
+  idx.resize(n);
   for (std::size_t i = 0; i < n; ++i) idx[i] = i;
   for (std::size_t i = 0; i < max_paths; ++i) {
     const std::size_t j = i + env.rand_below(n - i);
     std::swap(idx[i], idx[j]);
   }
+  ensure_paths(e, src, dst, idx.data(), max_paths);
 
   // Take a free slot of this exact size if one exists (returned by a
   // recycled flow); the arrays are overwritten in place, so the same memory
@@ -150,7 +202,6 @@ path_set path_table::sample(sim_env& env, std::uint32_t src, std::uint32_t dst,
   }
   subset_slot& s = subsets_[slot_idx];
   for (std::size_t i = 0; i < max_paths; ++i) {
-    ensure_path(e, src, dst, idx[i]);
     s.fwd.push_back(e.fwd[idx[i]]);
     s.rev.push_back(e.rev[idx[i]]);
   }

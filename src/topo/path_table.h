@@ -3,12 +3,21 @@
 //
 // Each distinct (src, dst, path) route is built exactly once — lazily, on
 // first use — and shared by every flow on that pair: two flows on the same
-// (src, dst) receive pointer-identical `const route*`s.  Hops live in one
-// chunked arena (a contiguous span per route, no per-route heap vector), and
-// every route terminates at the destination host's `flow_demux`, where
-// transports register their per-flow endpoints at connect time.  Route
-// memory is therefore O(pairs-used x paths) for the whole fabric instead of
+// (src, dst) receive pointer-identical `const route*`s.  Every route
+// terminates at the destination host's `flow_demux`, where transports
+// register their per-flow endpoints at connect time.  Route memory is
+// therefore O(pairs-used x paths) for the whole fabric instead of
 // O(flows x paths x hops).
+//
+// Two interning modes, chosen per topology:
+//  * blueprint-backed (`topology::blueprint() != nullptr`): the hop
+//    sequence lives once, as slot ids, in the shared `fabric_blueprint`'s
+//    structural table; this env only creates two small route views over its
+//    instance's sink table.  N parallel jobs over one blueprint duplicate
+//    none of the hop storage.
+//  * legacy (hand-built topologies): hops are copied into this table's
+//    chunked arena (a contiguous span per route, no per-route heap vector)
+//    via the topology's `make_route_pair` scratch builder.
 //
 // Forward and reverse of a path are interned together: both live in the same
 // arena and neither is freed before the table, which is what makes the raw
@@ -26,6 +35,7 @@
 
 #include "net/path_set.h"
 #include "net/sim_env.h"
+#include "topo/fabric_blueprint.h"
 
 namespace ndpsim {
 
@@ -105,6 +115,11 @@ class path_table {
   [[nodiscard]] pair_entry& entry_for(std::uint32_t src, std::uint32_t dst);
   void ensure_path(pair_entry& e, std::uint32_t src, std::uint32_t dst,
                    std::size_t path);
+  /// Build all not-yet-built paths in `paths` at once: blueprint-backed
+  /// topologies intern the whole batch under one blueprint lock (per-path
+  /// locking dominated connect cost at k=32 scale).
+  void ensure_paths(pair_entry& e, std::uint32_t src, std::uint32_t dst,
+                    const std::size_t* paths, std::size_t count);
   [[nodiscard]] route* intern_route(const route& built, flow_demux* terminal);
   [[nodiscard]] packet_sink** alloc_hops(std::size_t n);
 
@@ -135,6 +150,13 @@ class path_table {
   std::vector<std::unique_ptr<flow_demux>> demux_;  // [host], lazy
   packet_pool* stale_pool_ = nullptr;  ///< forwarded to every demux when set
   std::size_t interned_ = 0;
+
+  // Connect-path scratch (reused across calls; connects are frequent under
+  // churn and per-call vectors showed up at k=32 scale).
+  std::vector<std::size_t> idx_scratch_;      ///< sample()'s Fisher-Yates
+  std::vector<std::size_t> missing_scratch_;  ///< not-yet-built batch
+  std::vector<fabric_blueprint::structural_pair_view>
+      views_scratch_;  ///< blueprint batch results
 };
 
 }  // namespace ndpsim

@@ -21,6 +21,8 @@
 
 namespace ndpsim {
 
+class fabric_blueprint;
+class flow_demux;
 class path_table;
 
 /// Where a queue sits in the topology (used for per-level statistics, e.g.
@@ -46,12 +48,15 @@ enum class link_level : std::uint8_t {
   return "?";
 }
 
-/// Builds the egress queue for one directed link.
+/// Builds the egress queue for one directed link.  `name` is lazy (see
+/// sim/name_ref.h): factories that forward it untouched cost no formatting;
+/// legacy factories written against `const std::string&` still work — the
+/// implicit conversion formats eagerly at the call boundary.
 using queue_factory =
     std::function<std::unique_ptr<queue_base>(link_level level,
                                               std::size_t index,
                                               linkspeed_bps rate,
-                                              const std::string& name)>;
+                                              name_ref name)>;
 
 /// Route pair: {forward, reverse}, both endpoint-less and self-owning
 /// (scratch output of the builder; the path table copies hops into its arena).
@@ -80,6 +85,22 @@ class topology {
   /// Built lazily; lives (and keeps every handed-out route alive) as long as
   /// the topology.
   [[nodiscard]] path_table& paths();
+
+  // --- structure/state split hooks (see topo/fabric_blueprint.h) ---------
+  /// The immutable shared blueprint behind this topology, or nullptr for
+  /// hand-built topologies.  When non-null, the path table resolves routes
+  /// as blueprint slot sequences over `sink_table()` instead of interning
+  /// per-env hop copies via `make_route_pair`.
+  [[nodiscard]] virtual const fabric_blueprint* blueprint() const {
+    return nullptr;
+  }
+  /// Per-env sink table indexed by blueprint slot id (null hooks otherwise).
+  [[nodiscard]] virtual packet_sink* const* sink_table() const {
+    return nullptr;
+  }
+  /// Called by the path table when it creates a host's demux, so a
+  /// blueprint-backed topology can mount it at the host's demux slot.
+  virtual void bind_demux_slot(std::uint32_t /*host*/, flow_demux* /*d*/) {}
 
  private:
   std::unique_ptr<path_table> paths_;
