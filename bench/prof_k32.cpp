@@ -1,0 +1,35 @@
+// Scratch profiling driver: just the k=32 NDP permutation figure (the
+// hot-path workload the flat-dispatch work targets), so a sampling profiler
+// sees only the inner loop.  Not part of the recorded bench.
+#include <chrono>
+#include <cstdio>
+
+#include "harness/experiments.h"
+
+using namespace ndpsim;
+
+int main() {
+  const auto t0 = std::chrono::steady_clock::now();
+  fabric_params fp;
+  fp.proto = protocol::ndp;
+  auto bed = make_fat_tree_testbed(7, 32, fp);
+  flow_options o;
+  o.max_paths = 16;
+  const auto res = run_permutation(*bed, protocol::ndp, o, from_us(150),
+                                   from_us(350));
+  (void)res;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const auto& ds = bed->env.events.dispatch_stats();
+  std::printf("events %llu wall %.2fs  %.2fM ev/s\n",
+              (unsigned long long)bed->env.events.events_processed(), wall,
+              bed->env.events.events_processed() / wall / 1e6);
+  std::printf("heap %llu lane %llu flat %llu runs %llu (avg run %.2f)\n",
+              (unsigned long long)ds.heap_events,
+              (unsigned long long)ds.lane_events,
+              (unsigned long long)ds.flat_events,
+              (unsigned long long)ds.flat_runs,
+              ds.flat_runs ? (double)ds.flat_events / ds.flat_runs : 0.0);
+  return 0;
+}

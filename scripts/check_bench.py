@@ -5,11 +5,16 @@ Usage: check_bench.py COMMITTED.json CANDIDATE.json [--tolerance 0.2]
 
 Compares the rate metrics that are stable across iteration counts (figure
 events/sec, scheduler ops/sec, flow-churn flows/sec, route-setup routes/sec,
-fabric-setup instantiations/sec): the candidate may not fall more than
-`tolerance` below the committed value.  Being faster is never an error.
-Metrics present in only one file are skipped, so the check keeps working
-while benchmark sections are added (and while --quick runs omit the k=32
-fabric-setup/figure entries).
+fabric-setup instantiations/sec, flat-dispatch events/sec): the candidate
+may not fall more than `tolerance` below the committed value.  Being faster
+is never an error.  Metrics present in only one file are skipped, so the
+check keeps working while benchmark sections are added (and while --quick
+runs omit the k=32 fabric-setup/figure entries).
+
+Two structural gates ride along (PR 6): the candidate's flat_dispatch
+section must exist, be non-diverged and >= 1.2x; and the committed
+baseline's permutation_ndp_k32 figure must stay at or above the recorded
+2.5M events/s floor.
 """
 import argparse
 import json
@@ -19,6 +24,14 @@ import sys
 # Figures whose committed wall time is below this are skipped: a run of a
 # few milliseconds measures scheduler jitter, not the simulator.
 MIN_FIGURE_WALL_SEC = 0.03
+
+# Absolute floor on the COMMITTED k=32 figure (PR 6 acceptance: >= 2.5x the
+# pre-flat-dispatch 1.03M events/s).  Applied to the committed baseline, not
+# the candidate: the baseline is recorded once on a dev machine per
+# scripts/bench.sh, so the floor gates what gets committed without making CI
+# depend on shared-runner speed (quick candidate runs omit k=32 entirely).
+K32_FLOOR_EVENTS_PER_SEC = 2.5e6
+K32_FIGURE = "permutation_ndp_k32"
 
 
 def rate_metrics(doc):
@@ -56,7 +69,29 @@ def rate_metrics(doc):
             continue
         out[f"figures.{fig['name']}.events_per_sec"] = fig.get(
             "events_per_sec")
+    fd = doc.get("flat_dispatch", {})
+    if "flat_events_per_sec" in fd:
+        out["flat_dispatch.flat_events_per_sec"] = fd["flat_events_per_sec"]
     return {k: v for k, v in out.items() if isinstance(v, (int, float))}
+
+
+def check_flat_dispatch(doc):
+    """Structural gates on the candidate's flat_dispatch section (PR 6):
+    the section must exist, the two dispatch modes must have run the exact
+    same event sequence, and flat must actually be faster than virtual.
+    Returns a list of failure strings (empty = pass)."""
+    fd = doc.get("flat_dispatch")
+    if fd is None:
+        return ["flat_dispatch section missing from candidate"]
+    failures = []
+    if fd.get("identical_events") is not True:
+        failures.append("flat_dispatch.identical_events is not true "
+                        "(flat and virtual dispatch diverged)")
+    speedup = fd.get("speedup", 0)
+    if not isinstance(speedup, (int, float)) or speedup < 1.2:
+        failures.append(
+            f"flat_dispatch.speedup {speedup} below the 1.2x floor")
+    return failures
 
 
 def main():
@@ -68,9 +103,26 @@ def main():
     args = ap.parse_args()
 
     with open(args.committed) as f:
-        committed = rate_metrics(json.load(f))
+        committed_doc = json.load(f)
+    committed = rate_metrics(committed_doc)
     with open(args.candidate) as f:
-        candidate = rate_metrics(json.load(f))
+        candidate_doc = json.load(f)
+    candidate = rate_metrics(candidate_doc)
+
+    structural_failures = check_flat_dispatch(candidate_doc)
+    k32_rate = next(
+        (fig.get("events_per_sec", 0)
+         for fig in committed_doc.get("figures", [])
+         if fig.get("name") == K32_FIGURE), None)
+    if k32_rate is None:
+        structural_failures.append(
+            f"committed baseline has no {K32_FIGURE} figure")
+    elif k32_rate < K32_FLOOR_EVENTS_PER_SEC:
+        structural_failures.append(
+            f"committed {K32_FIGURE} at {k32_rate:.0f} events/s is below "
+            f"the {K32_FLOOR_EVENTS_PER_SEC:.0f} floor")
+    for msg in structural_failures:
+        print(f"STRUCTURAL FAILURE: {msg}")
 
     shared = sorted(set(committed) & set(candidate))
     if not shared:
@@ -90,9 +142,13 @@ def main():
             failures.append(key)
         print(f"{key:48s} {base:14.0f} -> {got:14.0f}  ({ratio:6.2f}x) {status}")
 
-    if failures:
-        print(f"\nFAILED: {len(failures)} metric(s) regressed more than "
-              f"{args.tolerance:.0%}: {', '.join(failures)}")
+    if failures or structural_failures:
+        if failures:
+            print(f"\nFAILED: {len(failures)} metric(s) regressed more than "
+                  f"{args.tolerance:.0%}: {', '.join(failures)}")
+        if structural_failures:
+            print(f"FAILED: {len(structural_failures)} structural "
+                  "flat_dispatch gate(s), see above")
         return 1
     print(f"\nall {len(shared)} shared metrics within {args.tolerance:.0%} "
           "of committed")

@@ -14,9 +14,8 @@
 // (ndp/ndp_queue.h) fixes all three.
 #pragma once
 
-#include <deque>
-
 #include "net/queue.h"
+#include "net/ring_fifo.h"
 
 namespace ndpsim {
 
@@ -46,7 +45,7 @@ class cp_queue final : public queue_base {
   [[nodiscard]] packet* dequeue_next() override;
 
  private:
-  std::deque<packet*> fifo_;
+  ring_fifo<packet*> fifo_;
   std::uint64_t data_bytes_ = 0;
   std::uint64_t header_bytes_ = 0;
   std::uint64_t capacity_;

@@ -8,7 +8,7 @@ namespace ndpsim {
 
 dcqcn_source::dcqcn_source(sim_env& env, dcqcn_config cfg,
                            std::uint32_t flow_id, std::string name)
-    : event_source(env.events, std::move(name)),
+    : event_source(env.events, std::move(name), dispatch_class::transport_timer),
       env_(env),
       cfg_(cfg),
       flow_id_(flow_id),

@@ -105,8 +105,12 @@ void run_until_complete(sim_env& env, const std::vector<flow*>& flows,
     return std::all_of(flows.begin(), flows.end(),
                        [](const flow* f) { return f->complete(); });
   };
+  // Timestamp-batch granularity (not single events) so the hot path runs
+  // through the flat dispatch handlers exactly as run_until does; the
+  // completion check between batches is monotonic, so the loop still stops
+  // at the first timestamp where every flow is complete.
   while (!all_done() && env.now() < deadline) {
-    if (!env.events.run_next_event()) break;
+    if (env.events.run_next_batch() == 0) break;
   }
 }
 

@@ -248,10 +248,11 @@ flow& flow_factory::create(protocol proto, std::uint32_t src,
   // The connection's borrowed path view, drawn here so the factory can hand
   // pooled subsets back to the table when the flow is destroyed.
   path_set ps;
+  const std::size_t path_cap = effective_max_paths(opts);
   switch (proto) {
     case protocol::ndp:
     case protocol::phost:
-      ps = topo_.paths().sample(env_, src, dst, opts.max_paths);
+      ps = topo_.paths().sample(env_, src, dst, path_cap);
       break;
     case protocol::tcp:
     case protocol::dctcp:

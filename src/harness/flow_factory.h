@@ -35,10 +35,18 @@ struct flow_options {
   std::uint32_t max_cwnd_mss = 1000;
   unsigned subflows = 8;  ///< MPTCP
   // Path selection
-  /// Cap on multipath set size (0 = all).  When capped, the subset is a
-  /// seeded random sample (not the first n indices, which would bias every
+  /// Cap on multipath set size (0 = automatic).  When capped, the subset is
+  /// a seeded random sample (not the first n indices, which would bias every
   /// flow onto the low core/agg switches), so two flows on the same pair can
   /// spread over different subsets.
+  ///
+  /// Automatic (0) means all paths on small fabrics, but on large fabrics
+  /// (>= flow_factory::kAutoCapHosts hosts, i.e. fat trees of k >= 32) it
+  /// defaults to kAutoCapPaths = 16: at that scale a pair has 256+ core
+  /// paths, and spraying over a seeded 16-subset is statistically
+  /// indistinguishable for load balance while keeping per-flow path-set
+  /// working memory (and structural interning) bounded.  Pass SIZE_MAX (or
+  /// any cap >= the pair's path count) to force the full set.
   std::size_t max_paths = 0;
   int fixed_path = -1;        ///< force single-path protocols onto this path
 };
@@ -88,7 +96,19 @@ class flow {
 
 class flow_factory {
  public:
+  /// Fabric size at which `flow_options::max_paths == 0` stops meaning "all
+  /// paths" and defaults to kAutoCapPaths (k=32 fat tree has 8192 hosts).
+  static constexpr std::size_t kAutoCapHosts = 4096;
+  static constexpr std::size_t kAutoCapPaths = 16;
+
   flow_factory(sim_env& env, topology& topo) : env_(env), topo_(topo) {}
+
+  /// The multipath cap `create` will apply for the given options: the
+  /// explicit cap if set, else the automatic large-fabric default.
+  [[nodiscard]] std::size_t effective_max_paths(const flow_options& opts) const {
+    if (opts.max_paths != 0) return opts.max_paths;
+    return topo_.n_hosts() >= kAutoCapHosts ? kAutoCapPaths : 0;
+  }
 
   /// Create (and own) a flow of `proto` from `src` to `dst`.
   flow& create(protocol proto, std::uint32_t src, std::uint32_t dst,

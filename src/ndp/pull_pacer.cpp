@@ -7,7 +7,7 @@
 namespace ndpsim {
 
 pull_pacer::pull_pacer(sim_env& env, linkspeed_bps link_rate, std::string name)
-    : event_source(env.events, std::move(name)), env_(env), rate_(link_rate) {
+    : event_source(env.events, std::move(name), dispatch_class::pacer_tick), env_(env), rate_(link_rate) {
   NDPSIM_ASSERT(rate_ > 0);
 }
 

@@ -1,0 +1,14 @@
+#include "net/flat_dispatch.h"
+
+#include "net/pipe.h"
+#include "net/queue.h"
+
+namespace ndpsim {
+
+void install_flat_handlers(event_list& events) {
+  events.set_flat_handler(dispatch_class::pipe_expiry, &pipe::dispatch_run);
+  events.set_flat_handler(dispatch_class::queue_service,
+                          &queue_base::dispatch_run);
+}
+
+}  // namespace ndpsim

@@ -1,0 +1,16 @@
+// Registration of the flat (batch) dispatch handlers for the fabric hot
+// path.  Lives in net/ because the handlers are the components' own static
+// batch functions (pipe delivery, queue service completion); the event
+// kernel in sim/ stays ignorant of concrete component types.
+#pragma once
+
+namespace ndpsim {
+
+class event_list;
+
+/// Register the batch handlers for every flat-dispatched class
+/// (pipe_expiry, queue_service).  Called once per `sim_env` at
+/// construction; idempotent.
+void install_flat_handlers(event_list& events);
+
+}  // namespace ndpsim

@@ -17,7 +17,6 @@
 #include <utility>
 
 #include "net/queue.h"
-#include "net/ring_fifo.h"
 
 namespace ndpsim {
 
@@ -31,9 +30,16 @@ class pfc_ingress final : public packet_sink, public event_source {
       : event_source(env.events, std::move(name)),
         upstream_(upstream),
         pause_delay_(pause_delay),
+        // PAUSE/RESUME propagation is monotone (fixed delay), so signals
+        // ride a generic-class lane: payload = the pause bit, delivered
+        // per-entry via do_lane_event (generic lanes never batch-dispatch,
+        // so sharing the lane with other generic sources is safe).
+        lane_(env.events.lane_for(dispatch_class::generic, pause_delay)),
         xoff_(xoff_bytes),
         xon_(xon_bytes) {
     NDPSIM_ASSERT(xon_ <= xoff_);
+    NDPSIM_ASSERT_MSG(lane_ != event_list::kNoLane,
+                      "event lane table exhausted by PFC pause delays");
   }
 
   void receive(packet& p) override {
@@ -60,15 +66,11 @@ class pfc_ingress final : public packet_sink, public event_source {
   }
 
   void do_next_event() override {
-    NDPSIM_ASSERT(!pending_.empty());
-    while (!pending_.empty() && pending_.front().first <= events().now()) {
-      const bool pause = pending_.front().second;
-      pending_.pop_front();
-      if (upstream_ != nullptr) upstream_->set_paused(pause);
-    }
-    if (!pending_.empty()) {
-      events().reschedule(timer_, *this, pending_.front().first);
-    }
+    NDPSIM_ASSERT_MSG(false, "PFC signals ride lanes, not timers");
+  }
+
+  void do_lane_event(std::uint64_t payload) override {
+    if (upstream_ != nullptr) upstream_->set_paused(payload != 0);
   }
 
   [[nodiscard]] std::uint64_t buffered_bytes() const { return buffered_; }
@@ -85,21 +87,18 @@ class pfc_ingress final : public packet_sink, public event_source {
 
  private:
   void signal(bool pause) {
-    const simtime_t due = events().now() + pause_delay_;
-    pending_.emplace_back(due, pause);
-    // Signals propagate in FIFO order, so one armed timer tracks the head.
-    if (pending_.size() == 1) timer_ = events().schedule_at(*this, due);
+    events().schedule_lane(lane_, *this, events().now() + pause_delay_,
+                           pause ? 1 : 0);
   }
 
   queue_base* upstream_;
   simtime_t pause_delay_;
+  std::uint32_t lane_;
   std::uint64_t xoff_;
   std::uint64_t xon_;
   std::uint64_t buffered_ = 0;
   std::uint64_t pauses_sent_ = 0;
   bool pause_requested_ = false;
-  ring_fifo<std::pair<simtime_t, bool>> pending_;
-  timer_handle timer_;
 };
 
 }  // namespace ndpsim

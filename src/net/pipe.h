@@ -1,12 +1,20 @@
 // A pipe models link propagation delay: packets entering come out unchanged
 // `delay` later, in order. Serialization happens in the upstream queue, so a
 // pipe can hold any number of packets in flight.
+//
+// Hot-path layout: a pipe's deadlines are perfectly monotone (every packet
+// is due exactly `delay` after entry), so in-flight packets live in the
+// event list's (pipe_expiry, delay) lane — one ring push per entry, one
+// batch handler call per same-time run — instead of a per-pipe ring plus a
+// rescheduled head timer.  The pipe object holds no in-flight state at all;
+// delivery needs only the lane entry's payload (the packet pointer), so the
+// flat handler never touches pipe memory.  All pipes sharing one delay
+// share one lane.
 #pragma once
 
 #include <utility>
 
 #include "net/packet.h"
-#include "net/ring_fifo.h"
 #include "net/route.h"
 #include "net/sim_env.h"
 #include "sim/eventlist.h"
@@ -16,41 +24,72 @@ namespace ndpsim {
 class pipe final : public packet_sink, public event_source {
  public:
   pipe(sim_env& env, simtime_t delay, name_ref name = "pipe")
-      : event_source(env.events, std::move(name)), delay_(delay) {
+      : event_source(env.events, std::move(name), dispatch_class::pipe_expiry),
+        delay_(delay),
+        lane_(env.events.lane_for(dispatch_class::pipe_expiry, delay)) {
     NDPSIM_ASSERT(delay_ >= 0);
+    // Distinct pipe delays come from topology configs — a handful of values
+    // per fabric.  Exhausting the lane table here means something is
+    // generating unbounded distinct delays; fail loudly rather than silently
+    // falling back to a slower path.
+    NDPSIM_ASSERT_MSG(lane_ != event_list::kNoLane,
+                      "event lane table exhausted by pipe delays");
   }
 
   [[nodiscard]] simtime_t delay() const { return delay_; }
 
   void receive(packet& p) override {
-    const simtime_t due = events().now() + delay_;
-    inflight_.emplace_back(due, &p);
-    // FIFO by construction: the one armed timer always tracks the head of
-    // the line, so only the empty->non-empty transition arms it.
-    if (inflight_.size() == 1) {
-      timer_ = events().schedule_at(*this, due);
-    }
+    events().schedule_lane(lane_, *this, events().now() + delay_,
+                           reinterpret_cast<std::uint64_t>(&p));
   }
 
+  /// Pipes only ever arm lane events, never plain timers.
   void do_next_event() override {
-    NDPSIM_ASSERT(!inflight_.empty());
-    // Deliver everything due now (multiple packets can share an arrival time).
-    while (!inflight_.empty() && inflight_.front().first <= events().now()) {
-      packet* p = inflight_.front().second;
-      inflight_.pop_front();
-      send_to_next_hop(*p);
-    }
-    if (!inflight_.empty()) {
-      events().reschedule(timer_, *this, inflight_.front().first);
-    }
+    NDPSIM_ASSERT_MSG(false, "pipe delivery rides lanes, not timers");
   }
 
-  [[nodiscard]] std::size_t in_flight() const { return inflight_.size(); }
+  void do_lane_event(std::uint64_t payload) override {
+    send_to_next_hop(*reinterpret_cast<packet*>(payload));
+  }
+
+  /// Flat batch handler for dispatch_class::pipe_expiry (registered by
+  /// `install_flat_handlers`): must do exactly what per-entry
+  /// `do_lane_event` does, in order.  The run is pipelined three entries
+  /// deep: delivery is a dependent-load chain (packet -> route slot -> sink
+  /// table entry -> sink object) whose misses dominate the k=32 hot path,
+  /// so each stage prefetches one link for a future entry while the current
+  /// one does real work.
+  static void dispatch_run(event_source* const* /*srcs*/,
+                           const std::uint64_t* payloads, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + 5 < n) {
+        const char* q = reinterpret_cast<const char*>(payloads[i + 5]);
+        __builtin_prefetch(q);
+        __builtin_prefetch(q + 64);  // rt/next_hop sit past the first line
+      }
+      if (i + 4 < n) {
+        const packet* q = reinterpret_cast<const packet*>(payloads[i + 4]);
+        __builtin_prefetch(q->rt);
+      }
+      if (i + 3 < n) {
+        const packet* q = reinterpret_cast<const packet*>(payloads[i + 3]);
+        q->rt->prefetch_hop_slot(q->next_hop);
+      }
+      if (i + 2 < n) {
+        const packet* q = reinterpret_cast<const packet*>(payloads[i + 2]);
+        q->rt->prefetch_hop_table(q->next_hop);
+      }
+      if (i + 1 < n) {
+        const packet* q = reinterpret_cast<const packet*>(payloads[i + 1]);
+        q->rt->prefetch_hop_sink(q->next_hop);
+      }
+      send_to_next_hop(*reinterpret_cast<packet*>(payloads[i]));
+    }
+  }
 
  private:
   simtime_t delay_;
-  ring_fifo<std::pair<simtime_t, packet*>> inflight_;
-  timer_handle timer_;
+  std::uint32_t lane_;
 };
 
 }  // namespace ndpsim

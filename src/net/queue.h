@@ -8,6 +8,18 @@
 // Queues support PFC pausing: while paused, the in-flight packet finishes
 // serializing but no new packet starts (pause at packet boundary, as 802.1Qbb
 // does).
+//
+// Hot-path layout: service completions are monotone per (rate, packet size)
+// — the deadline is always now + serialization_time — so they ride the
+// event list's (queue_service, delta) lanes and batch-dispatch through
+// `dispatch_run` without a virtual call per event.  A queue's traffic
+// alternates between very few sizes (full data MTU and header/control), so
+// a 2-entry delta->lane cache in front of `lane_for` keeps lane resolution
+// at two compares; unseen sizes miss into `lane_for`, and if the lane table
+// is ever full the completion falls back to a plain heap timer (same
+// ordering, just slower).  Completion logic itself is the non-virtual
+// `service_complete` — identical from the flat batch handler, the per-entry
+// lane path, and the heap fallback.
 #pragma once
 
 #include <cstdint>
@@ -39,7 +51,10 @@ class queue_base : public packet_sink, public event_source {
 
  public:
   queue_base(sim_env& env, linkspeed_bps rate, name_ref name)
-      : event_source(env.events, std::move(name)), env_(env), rate_(rate) {
+      : event_source(env.events, std::move(name),
+                     dispatch_class::queue_service),
+        env_(env),
+        rate_(rate) {
     NDPSIM_ASSERT(rate > 0);
   }
 
@@ -49,15 +64,52 @@ class queue_base : public packet_sink, public event_source {
     try_start_service();
   }
 
-  void do_next_event() final {
-    NDPSIM_ASSERT_MSG(serving_ != nullptr, "queue service event with no packet");
-    packet* p = serving_;
-    serving_ = nullptr;
-    ++stats_.forwarded;
-    stats_.bytes_forwarded += p->size_bytes;
-    if (on_depart_) on_depart_(*p);
-    send_to_next_hop(*p);
-    try_start_service();
+  /// Heap-fallback path (lane table full); lanes are the normal route.
+  void do_next_event() final { service_complete(); }
+  void do_lane_event(std::uint64_t /*payload*/) final { service_complete(); }
+
+  /// Flat batch handler for dispatch_class::queue_service (registered by
+  /// `install_flat_handlers`): must do exactly what per-entry
+  /// `do_lane_event` does, in order.  Pipelined like pipe::dispatch_run —
+  /// the queue object, its in-service packet and that packet's next-hop
+  /// resolution are prefetched for future entries of the run.
+  static void dispatch_run(event_source* const* srcs,
+                           const std::uint64_t* /*payloads*/, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i + 5 < n) {
+        const char* q =
+            reinterpret_cast<const char*>(static_cast<queue_base*>(srcs[i + 5]));
+        __builtin_prefetch(q);
+        __builtin_prefetch(q + 64);
+      }
+      if (i + 4 < n) {
+        const queue_base* qb = static_cast<const queue_base*>(srcs[i + 4]);
+        const char* p = reinterpret_cast<const char*>(qb->serving_);
+        __builtin_prefetch(p);
+        __builtin_prefetch(p + 64);
+      }
+      if (i + 3 < n) {
+        const queue_base* qb = static_cast<const queue_base*>(srcs[i + 3]);
+        const packet* p = qb->serving_;
+        if (p != nullptr) __builtin_prefetch(p->rt);
+      }
+      if (i + 2 < n) {
+        const queue_base* qb = static_cast<const queue_base*>(srcs[i + 2]);
+        const packet* p = qb->serving_;
+        if (p != nullptr && p->rt != nullptr) {
+          p->rt->prefetch_hop_slot(p->next_hop);
+          p->rt->prefetch_hop_table(p->next_hop);
+        }
+      }
+      if (i + 1 < n) {
+        const queue_base* qb = static_cast<const queue_base*>(srcs[i + 1]);
+        const packet* p = qb->serving_;
+        if (p != nullptr && p->rt != nullptr) {
+          p->rt->prefetch_hop_sink(p->next_hop);
+        }
+      }
+      static_cast<queue_base*>(srcs[i])->service_complete();
+    }
   }
 
   /// PFC: pause/resume serving (the packet on the wire always completes).
@@ -92,9 +144,30 @@ class queue_base : public packet_sink, public event_source {
     packet* p = dequeue_next();
     if (p == nullptr) return;
     serving_ = p;
+    const simtime_t st = serialization_time(p->size_bytes, rate_);
     // The service event is deliberately not kept as a handle: once a packet
-    // starts serializing it always completes (even under PFC pause).
-    events().schedule_in(*this, serialization_time(p->size_bytes, rate_));
+    // starts serializing it always completes (even under PFC pause) — which
+    // is also what makes the non-cancellable lane legal here.
+    std::uint32_t li;
+    if (st == lane_delta_[0]) {
+      li = lane_id_[0];
+    } else if (st == lane_delta_[1]) {
+      // Swap to front so two alternating sizes both stay one compare away.
+      std::swap(lane_delta_[0], lane_delta_[1]);
+      std::swap(lane_id_[0], lane_id_[1]);
+      li = lane_id_[0];
+    } else {
+      li = events().lane_for(dispatch_class::queue_service, st);
+      lane_delta_[1] = lane_delta_[0];
+      lane_id_[1] = lane_id_[0];
+      lane_delta_[0] = st;
+      lane_id_[0] = li;
+    }
+    if (li != event_list::kNoLane) {
+      events().schedule_lane(li, *this, events().now() + st);
+    } else {
+      (void)events().schedule_in(*this, st);
+    }
   }
 
   void drop(packet& p) {
@@ -108,9 +181,23 @@ class queue_base : public packet_sink, public event_source {
   sim_env& env_;
 
  private:
+  void service_complete() {
+    NDPSIM_ASSERT_MSG(serving_ != nullptr, "queue service event with no packet");
+    packet* p = serving_;
+    serving_ = nullptr;
+    ++stats_.forwarded;
+    stats_.bytes_forwarded += p->size_bytes;
+    if (on_depart_) on_depart_(*p);
+    send_to_next_hop(*p);
+    try_start_service();
+  }
+
   linkspeed_bps rate_;
   packet* serving_ = nullptr;
   bool paused_ = false;
+  // delta -> lane cache, most-recent first (-1 never matches a valid delta).
+  simtime_t lane_delta_[2] = {-1, -1};
+  std::uint32_t lane_id_[2] = {event_list::kNoLane, event_list::kNoLane};
   queue_stats stats_;
   std::function<void(packet&)> on_depart_;
 };

@@ -67,9 +67,30 @@ class ring_fifo {
     --size_;
   }
 
+  /// i-th element from the front (0 = front()).  Used by the event list's
+  /// tag renumbering, which must walk lane entries in FIFO order.
+  [[nodiscard]] T& at(std::size_t i) {
+    NDPSIM_ASSERT_MSG(i < size_, "ring_fifo index out of range");
+    return buf_[(head_ + i) & (cap_ - 1)];
+  }
+  [[nodiscard]] const T& at(std::size_t i) const {
+    NDPSIM_ASSERT_MSG(i < size_, "ring_fifo index out of range");
+    return buf_[(head_ + i) & (cap_ - 1)];
+  }
+
+  /// Pre-size the buffer to at least `n` slots (rounded up to a power of
+  /// two) so a known burst does not pay doubling-growth copies mid-run.
+  void reserve(std::size_t n) {
+    if (n <= cap_) return;
+    std::size_t new_cap = cap_ == 0 ? 8 : cap_;
+    while (new_cap < n) new_cap *= 2;
+    grow_to(new_cap);
+  }
+
  private:
-  void grow() {
-    const std::size_t new_cap = cap_ == 0 ? 8 : cap_ * 2;
+  void grow() { grow_to(cap_ == 0 ? 8 : cap_ * 2); }
+
+  void grow_to(std::size_t new_cap) {
     // for_overwrite: every slot is written by the move loop or a later
     // guarded push; zero-filling the new buffer would be pure overhead.
     auto fresh = std::make_unique_for_overwrite<T[]>(new_cap);

@@ -71,6 +71,21 @@ class route {
     NDPSIM_ASSERT_MSG(i < n_, "route hop out of range");
     return *table_[slots_[i]];
   }
+
+  // Hop resolution is a dependent-load chain (route object -> slot id ->
+  // sink table entry -> sink object) over working sets that fall out of
+  // cache at k=32 scale; the flat batch handlers pipeline it across a
+  // dispatch run with these prefetch stages, issued one iteration apart so
+  // each stage only dereferences what the previous stage already fetched.
+  void prefetch_hop_slot(std::size_t i) const {
+    if (i < n_) __builtin_prefetch(&slots_[i]);
+  }
+  void prefetch_hop_table(std::size_t i) const {
+    if (i < n_) __builtin_prefetch(&table_[slots_[i]]);
+  }
+  void prefetch_hop_sink(std::size_t i) const {
+    if (i < n_) __builtin_prefetch(table_[slots_[i]]);
+  }
   [[nodiscard]] std::size_t size() const { return n_; }
   [[nodiscard]] bool empty() const { return n_ == 0; }
 

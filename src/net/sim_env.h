@@ -10,8 +10,14 @@
 
 namespace ndpsim {
 
+/// Defined in net/flat_dispatch.cpp: registers the pipe/queue batch
+/// handlers on a fresh event list.
+void install_flat_handlers(event_list& events);
+
 struct sim_env {
-  explicit sim_env(std::uint64_t seed = 1) : rng(seed) {}
+  explicit sim_env(std::uint64_t seed = 1) : rng(seed) {
+    install_flat_handlers(events);
+  }
 
   event_list events;
   std::mt19937_64 rng;

@@ -8,7 +8,7 @@ namespace ndpsim {
 
 phost_source::phost_source(sim_env& env, phost_config cfg,
                            std::uint32_t flow_id, std::string name)
-    : event_source(env.events, std::move(name)),
+    : event_source(env.events, std::move(name), dispatch_class::transport_timer),
       env_(env),
       cfg_(cfg),
       flow_id_(flow_id) {
@@ -115,7 +115,9 @@ void phost_source::receive(packet& p) {
 
 phost_token_pacer::phost_token_pacer(sim_env& env, linkspeed_bps rate,
                                      std::string name)
-    : event_source(env.events, std::move(name)), env_(env), rate_(rate) {}
+    : event_source(env.events, std::move(name), dispatch_class::pacer_tick),
+      env_(env),
+      rate_(rate) {}
 
 void phost_token_pacer::activate(phost_sink& sink) {
   if (!sink.in_ring_) {

@@ -1,5 +1,7 @@
 #include "topo/fabric_instance.h"
 
+#include <algorithm>
+
 #include "net/path_set.h"
 
 namespace ndpsim {
@@ -33,6 +35,31 @@ fabric_instance::fabric_instance(sim_env& env,
     }
     by_level_[static_cast<std::size_t>(l.level)].push_back(q.get());
     queues_.push_back(std::move(q));
+  }
+
+  // Stamp the flat dispatch lanes up front: pre-open the (class, delta)
+  // lanes this fabric will drive hardest — pipe delivery per distinct link
+  // delay (the pipe constructors above already opened those) and queue
+  // service per distinct (rate, common packet size) — and pre-size their
+  // rings so the first traffic burst doesn't pay doubling-growth copies.
+  // 9000/64 are the dominant wire sizes (full data MTU, header/control);
+  // uncommon sizes open their lanes lazily via the queues' delta caches.
+  std::vector<simtime_t> deltas;
+  for (const auto& l : links) {
+    for (const std::uint32_t size : {9000u, kHeaderBytes}) {
+      const simtime_t st = serialization_time(size, l.rate);
+      if (std::find(deltas.begin(), deltas.end(), st) == deltas.end()) {
+        deltas.push_back(st);
+        const std::uint32_t lane =
+            env_.events.lane_for(dispatch_class::queue_service, st);
+        if (lane != event_list::kNoLane) {
+          env_.events.reserve_lane(lane, 512);
+        }
+      }
+    }
+    const std::uint32_t pl =
+        env_.events.lane_for(dispatch_class::pipe_expiry, l.delay);
+    if (pl != event_list::kNoLane) env_.events.reserve_lane(pl, 1024);
   }
 }
 

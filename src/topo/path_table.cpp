@@ -82,9 +82,18 @@ path_table::pair_entry& path_table::entry_for(std::uint32_t src,
   if (fresh) {
     const std::size_t n = topo_.n_paths(src, dst);
     NDPSIM_ASSERT_MSG(n > 0, "pair has no paths");
-    it->second.fwd.assign(n, nullptr);
-    it->second.rev.assign(n, nullptr);
+    it->second.n_paths = static_cast<std::uint32_t>(n);
   }
+  return it->second;
+}
+
+std::uint32_t path_table::find_slot(const pair_entry& e, std::uint32_t path) {
+  const auto it = std::lower_bound(
+      e.sparse.begin(), e.sparse.end(), path,
+      [](const std::pair<std::uint32_t, std::uint32_t>& a, std::uint32_t p) {
+        return a.first < p;
+      });
+  if (it == e.sparse.end() || it->first != path) return UINT32_MAX;
   return it->second;
 }
 
@@ -98,10 +107,26 @@ void path_table::ensure_paths(pair_entry& e, std::uint32_t src,
                               std::size_t count) {
   missing_scratch_.clear();
   for (std::size_t i = 0; i < count; ++i) {
-    NDPSIM_ASSERT_MSG(paths[i] < e.fwd.size(), "path index out of range");
-    if (e.fwd[paths[i]] == nullptr) missing_scratch_.push_back(paths[i]);
+    NDPSIM_ASSERT_MSG(paths[i] < e.n_paths, "path index out of range");
+    if (e.dense()) continue;  // dense pairs have every path built
+    if (find_slot(e, static_cast<std::uint32_t>(paths[i])) == UINT32_MAX) {
+      missing_scratch_.push_back(paths[i]);
+    }
   }
   if (missing_scratch_.empty()) return;
+
+  const auto record = [this, &e](std::uint32_t path, route* fi, route* ri) {
+    slots_.push_back(path_slot{fi, ri});
+    const std::uint32_t si = static_cast<std::uint32_t>(slots_.size() - 1);
+    const auto at = std::lower_bound(
+        e.sparse.begin(), e.sparse.end(), path,
+        [](const std::pair<std::uint32_t, std::uint32_t>& a, std::uint32_t p) {
+          return a.first < p;
+        });
+    e.sparse.insert(at, {path, si});
+    ++e.built;
+    ++interned_;
+  };
 
   if (const fabric_blueprint* bp = topo_.blueprint(); bp != nullptr) {
     // Structure/state split: the slot sequences are interned once in the
@@ -124,10 +149,7 @@ void path_table::ensure_paths(pair_entry& e, std::uint32_t src,
       route* ri = &routes_.back();
       fi->set_reverse(ri);
       ri->set_reverse(fi);
-      e.fwd[missing_scratch_[i]] = fi;
-      e.rev[missing_scratch_[i]] = ri;
-      ++e.built;
-      ++interned_;
+      record(static_cast<std::uint32_t>(missing_scratch_[i]), fi, ri);
     }
     return;
   }
@@ -146,29 +168,35 @@ void path_table::ensure_paths(pair_entry& e, std::uint32_t src,
     // lives.
     NDPSIM_ASSERT(fi->reverse()->reverse() == fi);
     NDPSIM_ASSERT(ri->reverse()->reverse() == ri);
-    e.fwd[path] = fi;
-    e.rev[path] = ri;
-    ++e.built;
-    ++interned_;
+    record(static_cast<std::uint32_t>(path), fi, ri);
   }
 }
 
 path_set path_table::all(std::uint32_t src, std::uint32_t dst) {
   pair_entry& e = entry_for(src, dst);
-  if (e.built < e.fwd.size()) {
-    idx_scratch_.resize(e.fwd.size());
-    for (std::size_t p = 0; p < e.fwd.size(); ++p) idx_scratch_[p] = p;
+  if (!e.dense()) {
+    // Full-set request: build everything, convert the pair to dense arrays
+    // (stable from here on — every path exists) and drop the sparse index.
+    idx_scratch_.resize(e.n_paths);
+    for (std::size_t p = 0; p < e.n_paths; ++p) idx_scratch_[p] = p;
     ensure_paths(e, src, dst, idx_scratch_.data(), idx_scratch_.size());
+    e.dense_fwd.resize(e.n_paths);
+    e.dense_rev.resize(e.n_paths);
+    for (const auto& [path, si] : e.sparse) {
+      e.dense_fwd[path] = slots_[si].fwd;
+      e.dense_rev[path] = slots_[si].rev;
+    }
+    e.sparse.clear();
+    e.sparse.shrink_to_fit();
   }
-  return path_set{e.fwd.data(), e.rev.data(),
-                  static_cast<std::uint32_t>(e.fwd.size()), &demux(src),
-                  &demux(dst)};
+  return path_set{e.dense_fwd.data(), e.dense_rev.data(), e.n_paths,
+                  &demux(src), &demux(dst)};
 }
 
 path_set path_table::sample(sim_env& env, std::uint32_t src, std::uint32_t dst,
                             std::size_t max_paths) {
   pair_entry& e = entry_for(src, dst);
-  const std::size_t n = e.fwd.size();
+  const std::size_t n = e.n_paths;
   if (max_paths == 0 || max_paths >= n) return all(src, dst);
 
   // Seeded random subset without replacement (partial Fisher-Yates): taking
@@ -202,8 +230,16 @@ path_set path_table::sample(sim_env& env, std::uint32_t src, std::uint32_t dst,
   }
   subset_slot& s = subsets_[slot_idx];
   for (std::size_t i = 0; i < max_paths; ++i) {
-    s.fwd.push_back(e.fwd[idx[i]]);
-    s.rev.push_back(e.rev[idx[i]]);
+    const std::uint32_t p = static_cast<std::uint32_t>(idx[i]);
+    if (e.dense()) {
+      s.fwd.push_back(e.dense_fwd[p]);
+      s.rev.push_back(e.dense_rev[p]);
+    } else {
+      const std::uint32_t si = find_slot(e, p);
+      NDPSIM_ASSERT(si != UINT32_MAX);
+      s.fwd.push_back(slots_[si].fwd);
+      s.rev.push_back(slots_[si].rev);
+    }
   }
   path_set ps{s.fwd.data(), s.rev.data(),
               static_cast<std::uint32_t>(max_paths), &demux(src), &demux(dst)};
@@ -236,30 +272,43 @@ path_set path_table::single(std::uint32_t src, std::uint32_t dst,
                             std::size_t path) {
   pair_entry& e = entry_for(src, dst);
   ensure_path(e, src, dst, path);
-  return path_set{e.fwd.data() + path, e.rev.data() + path, 1, &demux(src),
-                  &demux(dst)};
+  if (e.dense()) {
+    return path_set{e.dense_fwd.data() + path, e.dense_rev.data() + path, 1,
+                    &demux(src), &demux(dst)};
+  }
+  // The path_slot's two pointers are a valid 1-element view each (the slot
+  // deque pins them for the table's lifetime).
+  const std::uint32_t si = find_slot(e, static_cast<std::uint32_t>(path));
+  NDPSIM_ASSERT(si != UINT32_MAX);
+  path_slot& s = slots_[si];
+  return path_set{&s.fwd, &s.rev, 1, &demux(src), &demux(dst)};
 }
 
 const route* path_table::forward(std::uint32_t src, std::uint32_t dst,
                                  std::size_t path) {
   pair_entry& e = entry_for(src, dst);
   ensure_path(e, src, dst, path);
-  return e.fwd[path];
+  if (e.dense()) return e.dense_fwd[path];
+  return slots_[find_slot(e, static_cast<std::uint32_t>(path))].fwd;
 }
 
 const route* path_table::reverse(std::uint32_t src, std::uint32_t dst,
                                  std::size_t path) {
   pair_entry& e = entry_for(src, dst);
   ensure_path(e, src, dst, path);
-  return e.rev[path];
+  if (e.dense()) return e.dense_rev[path];
+  return slots_[find_slot(e, static_cast<std::uint32_t>(path))].rev;
 }
 
 std::size_t path_table::resident_bytes() const {
   std::size_t bytes = hops_total_ * sizeof(packet_sink*) +
-                      routes_.size() * sizeof(route);
+                      routes_.size() * sizeof(route) +
+                      slots_.size() * sizeof(path_slot);
   for (const auto& [key, e] : pairs_) {
     (void)key;
-    bytes += (e.fwd.capacity() + e.rev.capacity()) * sizeof(const route*);
+    bytes += e.sparse.capacity() * sizeof(std::pair<std::uint32_t, std::uint32_t>);
+    bytes += (e.dense_fwd.capacity() + e.dense_rev.capacity()) *
+             sizeof(const route*);
   }
   for (const auto& s : subsets_) {
     bytes += (s.fwd.capacity() + s.rev.capacity()) * sizeof(const route*);

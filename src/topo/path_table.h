@@ -105,14 +105,32 @@ class path_table {
   [[nodiscard]] std::size_t free_subset_arrays() const;
 
  private:
+  /// One interned path's route pair.  Lives in the table-wide `slots_`
+  /// deque so the two pointers are address-stable: `single()` hands out
+  /// 1-element views directly over them.
+  struct path_slot {
+    const route* fwd = nullptr;
+    const route* rev = nullptr;
+  };
+
   struct pair_entry {
-    // Interned routes by path index (nullptr until built).  The vectors are
-    // sized once at entry creation so handed-out views stay stable.
-    std::vector<const route*> fwd, rev;
+    // Sparse interned-path index, sorted by path id: only paths actually
+    // built are stored.  Eagerly sizing per-pair pointer vectors to
+    // n_paths cost ~33MB at k=32 when capped sampling touches 16 of 256
+    // paths per pair (ROADMAP open item 5).  `all()` converts the pair to
+    // the dense arrays below (stable once built — every path exists) and
+    // clears the sparse index.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> sparse;  // (path, slot)
+    std::vector<const route*> dense_fwd, dense_rev;  // full set, `all()` only
+    std::uint32_t n_paths = 0;
     std::size_t built = 0;
+    [[nodiscard]] bool dense() const { return !dense_fwd.empty(); }
   };
 
   [[nodiscard]] pair_entry& entry_for(std::uint32_t src, std::uint32_t dst);
+  /// The pair's slot for `path`, or UINT32_MAX if not yet interned.
+  [[nodiscard]] static std::uint32_t find_slot(const pair_entry& e,
+                                               std::uint32_t path);
   void ensure_path(pair_entry& e, std::uint32_t src, std::uint32_t dst,
                    std::size_t path);
   /// Build all not-yet-built paths in `paths` at once: blueprint-backed
@@ -126,6 +144,7 @@ class path_table {
   topology& topo_;
   std::unordered_map<std::uint64_t, pair_entry> pairs_;
   std::deque<route> routes_;  // deque: handed-out route*s are pinned
+  std::deque<path_slot> slots_;  // deque: single() views point into these
 
   // Chunked hop arena: bump allocation, one contiguous span per route.
   std::vector<std::unique_ptr<packet_sink*[]>> blocks_;
