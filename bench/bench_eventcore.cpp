@@ -922,6 +922,219 @@ flat_dispatch_result run_flat_dispatch_bench(bool quick) {
   return r;
 }
 
+// --------------------------------------------------------------------------
+// Section 4c: packet-path microbenchmark (hot-header layout + pool order).
+// --------------------------------------------------------------------------
+//
+// Replays the per-event packet path in isolation — alloc, enqueue at a WRR
+// port, dequeue (the front packet's size read), a 4-hop forwarding chain
+// (host -> ToR -> agg -> core, the per-hop touches a fat-tree path makes),
+// sink receive, release — over a live set large enough to fall out of L2,
+// against two packet memory models:
+//   legacy: the seed's field order (the per-hop fields rt / next_hop /
+//           enqueue_time sit past the first cache line, no alignment) and
+//           its LIFO pointer free list, which after churn hands out
+//           packets in near-random address order.
+//   new:    the hot/cold split `packet` (per-hop fields in the first line,
+//           64-byte aligned) and the address-ordered `packet_pool`.
+// The driver is one template instantiated for both models, so the reported
+// ratio isolates struct layout + allocation order from everything else.
+
+namespace packet_path {
+
+/// Field-for-field replica of the seed's packet layout (natural alignment,
+/// per-hop fields on the second cache line).
+struct legacy_packet {
+  packet_type type = packet_type::ndp_data;
+  std::uint16_t flags = 0;
+  std::uint8_t priority = 0;
+  std::uint32_t flow_id = 0;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint32_t size_bytes = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint64_t seqno = 0;
+  std::uint64_t ackno = 0;
+  std::uint64_t pullno = 0;
+  std::uint64_t data_seq = 0;
+  std::uint16_t path_id = 0;
+  const void* rt = nullptr;
+  const void* reverse_rt = nullptr;
+  std::uint32_t next_hop = 0;
+  simtime_t first_sent = 0;
+  simtime_t enqueue_time = 0;
+  void* ingress = nullptr;
+  bool in_pool = false;
+};
+
+/// The seed's pool policy: slab-backed storage, LIFO pointer free list.
+class legacy_pool {
+ public:
+  [[nodiscard]] legacy_packet* alloc() {
+    if (free_.empty()) grow();
+    legacy_packet* p = free_.back();
+    free_.pop_back();
+    *p = legacy_packet{};
+    return p;
+  }
+  void release(legacy_packet* p) { free_.push_back(p); }
+
+ private:
+  static constexpr std::size_t kBlock = 1024;
+  void grow() {
+    auto& block =
+        blocks_.emplace_back(std::make_unique<legacy_packet[]>(kBlock));
+    for (std::size_t i = 0; i < kBlock; ++i) free_.push_back(&block[i]);
+  }
+  std::vector<std::unique_ptr<legacy_packet[]>> blocks_;
+  std::vector<legacy_packet*> free_;
+};
+
+/// Adapter giving the real pool the same 2-call surface.
+class new_pool {
+ public:
+  [[nodiscard]] packet* alloc() { return pool_.alloc(); }
+  void release(packet* p) { pool_.release(p); }
+
+ private:
+  packet_pool pool_;
+};
+
+struct packet_path_result {
+  std::uint64_t ops = 0;
+  std::size_t live_packets = 0;
+  double legacy_sec = 0;
+  double new_sec = 0;
+  [[nodiscard]] double speedup() const { return legacy_sec / new_sec; }
+};
+
+/// One op = dequeue at a WRR port, advance one hop; a packet that has done
+/// all `kForwardHops` hops is sunk (read the delivery fields, write an ack
+/// field) and replaced by a freshly allocated one, keeping the live set
+/// constant.  Four forwarding hops per delivery mirrors a fat-tree path
+/// (host/ToR/agg/core queues) — the per-hop touch is where the hot/cold
+/// layouts differ, the sink touch is where they do the same work.
+/// Releases go through a deferred FIFO buffer, as in the simulator where a
+/// packet dies at the receiver long after younger packets were allocated —
+/// this is what ages the legacy LIFO free list into random address order.
+template <typename P, typename Pool>
+double drive(Pool& pool, std::uint64_t ops, std::size_t live,
+             std::uint64_t* checksum) {
+  constexpr std::size_t kPorts = 256;  // power of two
+  constexpr std::size_t kDefer = 4096;
+  constexpr std::uint32_t kForwardHops = 4;  // fat-tree path depth
+  struct port {
+    ring_fifo<P*> data;
+    ring_fifo<P*> hdr;
+    unsigned hdrs_since_data = 0;
+  };
+  std::vector<port> ports(kPorts);
+  std::vector<P*> defer;
+  defer.reserve(kDefer);
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  auto next_rand = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  auto fill_and_enqueue = [&](std::uint64_t seq) {
+    P* p = pool.alloc();
+    const bool header = (seq % 10) == 0;
+    p->type = header ? packet_type::ndp_ack : packet_type::ndp_data;
+    p->seqno = seq;
+    p->flow_id = static_cast<std::uint32_t>(seq);
+    p->size_bytes = header ? 64 : 9000;
+    p->payload_bytes = header ? 0 : 8936;
+    p->next_hop = 0;
+    port& pt = ports[next_rand() & (kPorts - 1)];
+    (header ? pt.hdr : pt.data).push_back(p);
+  };
+
+  std::uint64_t seq = 0;
+  for (std::size_t i = 0; i < live; ++i) fill_and_enqueue(++seq);
+
+  std::uint64_t sum = 0;
+  const double c0 = cpu_seconds_now();
+  for (std::uint64_t op = 0; op < ops; ++op) {
+    // WRR dequeue (10:1 headers over data, the ndp_queue discipline),
+    // probing from a random port — the front packet read is the cache miss
+    // the layouts differ on.
+    std::size_t pi = next_rand() & (kPorts - 1);
+    P* p = nullptr;
+    for (std::size_t probe = 0; probe < kPorts; ++probe, pi = (pi + 1) & (kPorts - 1)) {
+      port& pt = ports[pi];
+      const bool have_data = !pt.data.empty();
+      if (!pt.hdr.empty() &&
+          (!have_data || pt.hdrs_since_data < 10)) {
+        p = pt.hdr.front();
+        pt.hdr.pop_front();
+        if (have_data) ++pt.hdrs_since_data;
+        break;
+      }
+      if (have_data) {
+        p = pt.data.front();
+        pt.data.pop_front();
+        pt.hdrs_since_data = 0;
+        break;
+      }
+    }
+    if (p == nullptr) continue;  // cannot happen with live >> ports
+    sum += p->size_bytes;        // serialization-time read
+    if (p->next_hop + 1 < kForwardHops) {
+      // Forwarding hop: per-hop header touch, then re-enqueue downstream.
+      p->next_hop += 1;
+      p->enqueue_time = static_cast<simtime_t>(op);
+      port& pt = ports[next_rand() & (kPorts - 1)];
+      (p->payload_bytes == 0 ? pt.hdr : pt.data).push_back(p);
+      continue;
+    }
+    // Last hop: terminal receive (delivery fields), deferred release.
+    sum += p->seqno + p->flow_id + p->payload_bytes;
+    p->ackno = p->seqno;  // cold-line write, as the sink's ACK build does
+    defer.push_back(p);
+    if (defer.size() == kDefer) {
+      for (P* d : defer) pool.release(d);
+      defer.clear();
+    }
+    fill_and_enqueue(++seq);
+  }
+  const double dt = cpu_seconds_now() - c0;
+  *checksum = sum;
+  return dt;
+}
+
+packet_path_result run_packet_path(bool quick) {
+  packet_path_result r;
+  r.live_packets = 1 << 16;  // 64k live packets: ~8 MB, past L2
+  r.ops = quick ? 4'000'000 : 20'000'000;
+  std::uint64_t sum_legacy = 0;
+  std::uint64_t sum_new = 0;
+  // Warm pass, then measure against the SAME pool: the warm pass faults the
+  // slab pages in and — the point of the comparison — ages the free list
+  // into the state each policy sustains (shuffled for the legacy LIFO,
+  // address-clustered for the ordered pool).
+  {
+    legacy_pool pool;
+    std::uint64_t warm_sum = 0;
+    (void)drive<legacy_packet>(pool, r.ops / 8, r.live_packets, &warm_sum);
+    r.legacy_sec =
+        drive<legacy_packet>(pool, r.ops, r.live_packets, &sum_legacy);
+  }
+  {
+    new_pool pool;
+    std::uint64_t warm_sum = 0;
+    (void)drive<packet>(pool, r.ops / 8, r.live_packets, &warm_sum);
+    r.new_sec = drive<packet>(pool, r.ops, r.live_packets, &sum_new);
+  }
+  // Same rng stream, same sizes: both drivers must have done identical work.
+  NDPSIM_ASSERT_MSG(sum_legacy == sum_new,
+                    "packet_path drivers diverged — bench bug");
+  return r;
+}
+
+}  // namespace packet_path
+
 /// Exact (bitwise) comparison of two sweeps' per-config FCT records.
 bool outcomes_identical(const std::vector<experiment_outcome>& a,
                         const std::vector<experiment_outcome>& b) {
@@ -1112,6 +1325,20 @@ int main(int argc, char** argv) {
                  "FATAL: flat dispatch diverged from virtual dispatch\n");
     return 1;
   }
+
+  // ---- Section 4c: packet-path microbenchmark (old vs new packet layout).
+  // Runs after the figures: it allocates ~16 MB of packet slabs, and the
+  // k=32 headline figure gets the clean heap.
+  const packet_path::packet_path_result pp = packet_path::run_packet_path(quick);
+  std::printf(
+      "\npacket path (4-hop WRR chain, %lluM ops, %zu live packets):\n"
+      "  legacy layout+pool : %.3f cpu-s  %.2fM ops/s\n"
+      "  hot/cold + ordered : %.3f cpu-s  %.2fM ops/s\n"
+      "  speedup: %.2fx\n",
+      static_cast<unsigned long long>(pp.ops / 1'000'000), pp.live_packets,
+      pp.legacy_sec, static_cast<double>(pp.ops) / pp.legacy_sec / 1e6,
+      pp.new_sec, static_cast<double>(pp.ops) / pp.new_sec / 1e6,
+      pp.speedup());
 
   // ---- Section 2: route-setup microbenchmark.  Best-of rounds: the
   // interned side finishes in ~1ms, where allocation jitter alone spans
@@ -1342,6 +1569,14 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(fd.flat_runs), fd.avg_run(),
       static_cast<unsigned long long>(fd.heap_events),
       fd.identical ? "true" : "false");
+  std::fprintf(
+      f,
+      "  \"packet_path\": {\"ops\": %llu, \"live_packets\": %zu, "
+      "\"legacy_ops_per_sec\": %.0f, \"new_ops_per_sec\": %.0f, "
+      "\"speedup\": %.3f},\n",
+      static_cast<unsigned long long>(pp.ops), pp.live_packets,
+      static_cast<double>(pp.ops) / pp.legacy_sec,
+      static_cast<double>(pp.ops) / pp.new_sec, pp.speedup());
   std::fprintf(f, "  \"parallel_sweep\": {\n");
   std::fprintf(f, "    \"configs\": %zu,\n", sweep.size());
   std::fprintf(f, "    \"threads\": %u,\n", pool.threads());

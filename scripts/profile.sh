@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Profile a simulator binary with gprofng using the repo-standard flags.
+#
+# Builds the Release tree (LTO + native, the configuration every committed
+# number is measured in), records one experiment with `gprofng collect app`,
+# and prints the function-level profile sorted by exclusive CPU time —
+# the view the packet-path optimization work is driven by.
+#
+# Usage: scripts/profile.sh [TARGET] [ARGS...]
+#   TARGET     binary target to profile (default: prof_k32, the committed
+#              k=32 permutation headline workload)
+#   ARGS       passed through to the binary
+#
+# Environment:
+#   BUILD_DIR  build tree to use (default: build-release)
+#   OUT_DIR    where the .er experiment directory goes
+#              (default: /tmp/ndpsim-prof.<pid>.er; an existing directory
+#              of that name is removed first)
+#   LINES      how many functions to print (default: 30)
+#
+# Examples:
+#   scripts/profile.sh                      # the k=32 headline workload
+#   scripts/profile.sh bench_eventcore /tmp/b.json --quick
+#
+# Notes:
+#   - perf/valgrind are unavailable in the dev container; gprofng (binutils)
+#     is the supported profiler.
+#   - Keep the machine otherwise idle: the simulator is single threaded and
+#     the profile is CPU-time based.
+#   - For call-tree views: gprofng display text -calltree "$OUT_DIR"
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build-release}"
+target="${1:-prof_k32}"
+shift || true
+out_dir="${OUT_DIR:-/tmp/ndpsim-prof.$$.er}"
+lines="${LINES:-30}"
+
+command -v gprofng >/dev/null || {
+  echo "error: gprofng not found (install binutils)" >&2
+  exit 1
+}
+
+cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release \
+      -DBUILD_TESTING=OFF >/dev/null
+cmake --build "$build_dir" --target "$target" -j"$(nproc)"
+
+rm -rf "$out_dir"
+gprofng collect app -o "$out_dir" "$build_dir/$target" "$@"
+
+echo
+echo "== functions by exclusive CPU time ($out_dir) =="
+gprofng display text -limit "$lines" -functions "$out_dir"
+echo
+echo "experiment kept at $out_dir (view: gprofng display text -functions $out_dir)"

@@ -19,6 +19,7 @@ void cp_queue::enqueue_arrival(packet& p) {
   } else {
     data_bytes_ += p.size_bytes;
   }
+  bytes_ += p.size_bytes;
   p.enqueue_time = env_.now();
   fifo_.push_back(&p);
 }
@@ -32,6 +33,7 @@ packet* cp_queue::dequeue_next() {
   } else {
     data_bytes_ -= p->size_bytes;
   }
+  bytes_ -= p->size_bytes;
   return p;
 }
 

@@ -25,10 +25,11 @@ class cp_queue final : public queue_base {
   /// packets are always admitted.
   cp_queue(sim_env& env, linkspeed_bps rate, std::uint64_t capacity_bytes,
            std::string name = "cpq")
-      : queue_base(env, rate, std::move(name)), capacity_(capacity_bytes) {}
+      : queue_base(env, rate, std::move(name), dequeue_kind::cp_fifo),
+        capacity_(capacity_bytes) {}
 
   [[nodiscard]] std::uint64_t buffered_bytes() const override {
-    return data_bytes_ + header_bytes_;
+    return bytes_;
   }
   [[nodiscard]] std::size_t buffered_packets() const override {
     return fifo_.size();
@@ -40,12 +41,20 @@ class cp_queue final : public queue_base {
     return header_bytes_;
   }
 
+  // dequeue_kind::cp_fifo hooks (see queue_base::dequeue_next_dispatch).
+  [[nodiscard]] packet* dequeue_direct() { return cp_queue::dequeue_next(); }
+  void prefetch_front_slots() const { fifo_.prefetch_front_slot(); }
+  void prefetch_front_packets() const {
+    if (!fifo_.empty()) __builtin_prefetch(fifo_.front());
+  }
+
  protected:
   void enqueue_arrival(packet& p) override;
   [[nodiscard]] packet* dequeue_next() override;
 
  private:
   ring_fifo<packet*> fifo_;
+  std::uint64_t bytes_ = 0;  ///< data + header total, kept incrementally
   std::uint64_t data_bytes_ = 0;
   std::uint64_t header_bytes_ = 0;
   std::uint64_t capacity_;

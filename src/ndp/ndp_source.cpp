@@ -21,7 +21,7 @@ ndp_source::~ndp_source() { disconnect(); }
 
 void ndp_source::disconnect() {
   events().cancel(rto_timer_);  // start event or RTO backstop, whichever is armed
-  rto_heap_ = {};
+  rto_clear();
   if (sink_ != nullptr) {
     net_paths_.unbind(flow_id_);
     sink_ = nullptr;
@@ -120,11 +120,10 @@ void ndp_source::send_data(std::uint64_t seqno, bool is_rtx) {
   if (info.first_sent == 0) info.first_sent = env_.now();
   info.last_tx = env_.now();
   info.last_path = path;
-  info.epoch += 1;
   info.state = tx_state::inflight;
   p->first_sent = info.first_sent;
 
-  arm_rto(seqno, env_.now() + cfg_.rto, info.epoch);
+  arm_rto(seqno, info, env_.now() + cfg_.rto);
 
   ++stats_.packets_sent;
   if (is_rtx) ++stats_.rtx_sent;
@@ -166,6 +165,7 @@ void ndp_source::handle_ack(const packet& p) {
   auto it = outstanding_.find(seq);
   if (it != outstanding_.end()) {
     if (on_latency_) on_latency_(env_.now() - it->second.first_sent);
+    rto_erase(it->second);  // before erase: the heap entry points at the node
     outstanding_.erase(it);
   }
   rtx_pending_.erase(seq);
@@ -196,11 +196,10 @@ void ndp_source::queue_rtx(std::uint64_t seqno, tx_state why) {
   auto it = outstanding_.find(seqno);
   if (it == outstanding_.end()) return;  // already ACKed
   it->second.state = why;
-  it->second.epoch += 1;
   rtx_pending_.insert(seqno);
   // The packet is accounted for (receiver will PULL it); extend the RTO
   // backstop in case the PULL itself is lost.
-  arm_rto(seqno, env_.now() + 4 * cfg_.rto, it->second.epoch);
+  arm_rto(seqno, it->second, env_.now() + 4 * cfg_.rto);
 }
 
 void ndp_source::handle_pull(const packet& p) {
@@ -258,15 +257,102 @@ void ndp_source::handle_bounce(packet& p) {
     send_data(seq, /*is_rtx=*/true);
   } else {
     it->second.state = tx_state::bounced;
-    it->second.epoch += 1;
     rtx_pending_.insert(seq);
-    arm_rto(seq, env_.now() + 4 * cfg_.rto, it->second.epoch);
+    arm_rto(seq, it->second, env_.now() + 4 * cfg_.rto);
   }
 }
 
-void ndp_source::arm_rto(std::uint64_t seqno, simtime_t deadline,
-                         std::uint32_t epoch) {
-  rto_heap_.push(rto_entry{deadline, seqno, epoch});
+// --- indexed RTO min-heap -------------------------------------------------
+//
+// One live entry per outstanding packet, located in O(1) through
+// `sent_info::rto_pos`.  Re-arming is an in-place key change and an ACK is
+// an eager erase, so — unlike the old push-and-invalidate priority_queue —
+// a timer fire never pops dead entries, and `process_rto_heap` reaches each
+// packet's `sent_info` through the stored node pointer instead of a hash
+// lookup.  The backstop-timer policy is unchanged (arm moves it earlier
+// only; fires re-arm it to the live top), which keeps the timer's event
+// sequence identical to the old scheme.
+
+bool ndp_source::rto_before(const rto_item& a, const rto_item& b) {
+  return a.deadline < b.deadline ||
+         (a.deadline == b.deadline && a.seqno < b.seqno);
+}
+
+void ndp_source::rto_sift_up(std::uint32_t i) {
+  rto_item item = rto_heap_[i];
+  while (i > 0) {
+    const std::uint32_t parent = (i - 1) / 2;
+    if (!rto_before(item, rto_heap_[parent])) break;
+    rto_heap_[i] = rto_heap_[parent];
+    rto_heap_[i].info->rto_pos = i;
+    i = parent;
+  }
+  rto_heap_[i] = item;
+  item.info->rto_pos = i;
+}
+
+void ndp_source::rto_sift_down(std::uint32_t i) {
+  const auto n = static_cast<std::uint32_t>(rto_heap_.size());
+  rto_item item = rto_heap_[i];
+  while (true) {
+    std::uint32_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && rto_before(rto_heap_[child + 1], rto_heap_[child])) {
+      ++child;
+    }
+    if (!rto_before(rto_heap_[child], item)) break;
+    rto_heap_[i] = rto_heap_[child];
+    rto_heap_[i].info->rto_pos = i;
+    i = child;
+  }
+  rto_heap_[i] = item;
+  item.info->rto_pos = i;
+}
+
+void ndp_source::rto_fix(std::uint32_t i) {
+  if (i > 0 && rto_before(rto_heap_[i], rto_heap_[(i - 1) / 2])) {
+    rto_sift_up(i);
+  } else {
+    rto_sift_down(i);
+  }
+}
+
+void ndp_source::rto_set_deadline(std::uint64_t seqno, sent_info& info,
+                                  simtime_t deadline) {
+  if (info.rto_pos == kNoRtoPos) {
+    rto_heap_.push_back(rto_item{deadline, seqno, &info});
+    info.rto_pos = static_cast<std::uint32_t>(rto_heap_.size() - 1);
+    rto_sift_up(info.rto_pos);
+  } else {
+    NDPSIM_ASSERT(rto_heap_[info.rto_pos].info == &info);
+    rto_heap_[info.rto_pos].deadline = deadline;
+    rto_fix(info.rto_pos);
+  }
+}
+
+void ndp_source::rto_erase(sent_info& info) {
+  const std::uint32_t pos = info.rto_pos;
+  if (pos == kNoRtoPos) return;
+  info.rto_pos = kNoRtoPos;
+  const auto last = static_cast<std::uint32_t>(rto_heap_.size() - 1);
+  if (pos != last) {
+    rto_heap_[pos] = rto_heap_[last];
+    rto_heap_[pos].info->rto_pos = pos;
+    rto_heap_.pop_back();
+    rto_fix(pos);
+  } else {
+    rto_heap_.pop_back();
+  }
+}
+
+void ndp_source::rto_clear() {
+  for (const rto_item& item : rto_heap_) item.info->rto_pos = kNoRtoPos;
+  rto_heap_.clear();
+}
+
+void ndp_source::arm_rto(std::uint64_t seqno, sent_info& info,
+                         simtime_t deadline) {
+  rto_set_deadline(seqno, info, deadline);
   // One backstop timer covers every outstanding packet: keep it armed for
   // the earliest deadline (O(log n) decrease-key, no extra event entries).
   if (!events().is_pending(rto_timer_) ||
@@ -276,42 +362,37 @@ void ndp_source::arm_rto(std::uint64_t seqno, simtime_t deadline,
 }
 
 void ndp_source::process_rto_heap() {
-  while (!rto_heap_.empty() && rto_heap_.top().deadline <= env_.now()) {
-    const rto_entry e = rto_heap_.top();
-    rto_heap_.pop();
-    auto it = outstanding_.find(e.seqno);
-    if (it == outstanding_.end() || it->second.epoch != e.epoch) {
-      continue;  // ACKed or state changed since this entry was armed
+  while (!rto_heap_.empty() && rto_heap_.front().deadline <= env_.now()) {
+    const rto_item e = rto_heap_.front();
+    e.info->rto_pos = kNoRtoPos;
+    rto_heap_.front() = rto_heap_.back();
+    rto_heap_.pop_back();
+    if (!rto_heap_.empty()) {
+      rto_heap_.front().info->rto_pos = 0;
+      rto_sift_down(0);
     }
-    if (it->second.state != tx_state::inflight &&
-        last_pull_seen_ >= 0 && env_.now() - last_pull_seen_ <= cfg_.rto) {
+    sent_info& info = *e.info;
+    if (info.state != tx_state::inflight && last_pull_seen_ >= 0 &&
+        env_.now() - last_pull_seen_ <= cfg_.rto) {
       // NACKed/bounced packet queued for retransmission, and the receiver's
       // pull clock is visibly running: our turn is coming (large incasts can
       // queue pulls for many milliseconds). Only a silent pull clock means
-      // the PULL itself was lost.
-      rto_heap_.push(rto_entry{env_.now() + cfg_.rto, e.seqno, e.epoch});
+      // the PULL itself was lost.  Heap-only re-arm: the old scheme left the
+      // backstop untouched here too (the post-loop re-arm covers it).
+      rto_set_deadline(e.seqno, info, env_.now() + cfg_.rto);
       continue;
     }
     // Genuine timeout: the packet (or its NACK/PULL) vanished — corruption or
     // failure. Retransmit directly on a different path (§3.2.3).
-    paths_->record_loss(it->second.last_path);
+    paths_->record_loss(info.last_path);
     rtx_pending_.erase(e.seqno);
     ++stats_.rtx_after_timeout;
     send_data(e.seqno, /*is_rtx=*/true);
   }
-  // Drop entries invalidated by ACKs/state changes so the timer re-arms for
-  // a deadline that is still live (dead entries would otherwise keep waking
-  // us just to be skipped).
-  while (!rto_heap_.empty()) {
-    const rto_entry& top = rto_heap_.top();
-    auto it = outstanding_.find(top.seqno);
-    if (it != outstanding_.end() && it->second.epoch == top.epoch) break;
-    rto_heap_.pop();
-  }
   if (rto_heap_.empty()) {
     events().cancel(rto_timer_);
   } else {
-    events().reschedule(rto_timer_, *this, rto_heap_.top().deadline);
+    events().reschedule(rto_timer_, *this, rto_heap_.front().deadline);
   }
 }
 
@@ -320,7 +401,7 @@ void ndp_source::check_complete() {
     completion_time_ = env_.now();
     // Every packet is ACKed: the RTO backstop has nothing left to guard.
     events().cancel(rto_timer_);
-    rto_heap_ = {};
+    rto_clear();
     if (on_complete_) on_complete_();
   }
 }

@@ -14,7 +14,6 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -103,21 +102,26 @@ class ndp_source final : public packet_sink, public event_source {
  private:
   enum class tx_state : std::uint8_t { inflight, nacked, bounced };
 
+  static constexpr std::uint32_t kNoRtoPos = UINT32_MAX;
+
   struct sent_info {
     simtime_t first_sent = 0;
     simtime_t last_tx = 0;
     std::uint16_t last_path = 0;
-    std::uint32_t epoch = 0;  ///< invalidates stale RTO heap entries
+    std::uint32_t rto_pos = kNoRtoPos;  ///< index into rto_heap_, or none
     tx_state state = tx_state::inflight;
   };
 
-  struct rto_entry {
+  /// Indexed min-heap entry: exactly one live deadline per outstanding
+  /// packet.  `info` points at the packet's `outstanding_` node (node-based
+  /// map, so the address is stable) and `info->rto_pos` tracks the entry's
+  /// heap slot, making re-arm an in-place decrease/increase-key and ACK an
+  /// O(log n) erase — no stale entries to pop and skip on timer fires.
+  /// Ties order by seqno so heap order is data-independent of push history.
+  struct rto_item {
     simtime_t deadline;
     std::uint64_t seqno;
-    std::uint32_t epoch;
-    [[nodiscard]] bool operator<(const rto_entry& o) const {
-      return deadline > o.deadline;  // min-heap
-    }
+    sent_info* info;
   };
 
   void start_flow();
@@ -128,8 +132,18 @@ class ndp_source final : public packet_sink, public event_source {
   void send_data(std::uint64_t seqno, bool is_rtx);
   void send_next_from_pull();
   void queue_rtx(std::uint64_t seqno, tx_state why);
-  void arm_rto(std::uint64_t seqno, simtime_t deadline, std::uint32_t epoch);
+  void arm_rto(std::uint64_t seqno, sent_info& info, simtime_t deadline);
   void process_rto_heap();
+  [[nodiscard]] static bool rto_before(const rto_item& a, const rto_item& b);
+  void rto_sift_up(std::uint32_t i);
+  void rto_sift_down(std::uint32_t i);
+  void rto_fix(std::uint32_t i);
+  /// Heap-only insert/update (no backstop-timer adjustment); arm_rto adds
+  /// the timer handling on top.
+  void rto_set_deadline(std::uint64_t seqno, sent_info& info,
+                        simtime_t deadline);
+  void rto_erase(sent_info& info);
+  void rto_clear();
   [[nodiscard]] std::uint32_t payload_for(std::uint64_t seqno) const;
   void check_complete();
 
@@ -152,7 +166,7 @@ class ndp_source final : public packet_sink, public event_source {
   std::set<std::uint64_t> ooo_acked_;
   std::set<std::uint64_t> rtx_pending_;
   std::unordered_map<std::uint64_t, sent_info> outstanding_;
-  std::priority_queue<rto_entry> rto_heap_;
+  std::vector<rto_item> rto_heap_;  ///< indexed min-heap (see rto_item)
   timer_handle rto_timer_;  ///< one backstop timer, armed for the earliest deadline
 
   simtime_t start_time_ = 0;

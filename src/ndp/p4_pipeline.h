@@ -16,9 +16,8 @@
 // configured the same way.
 #pragma once
 
-#include <deque>
-
 #include "net/queue.h"
+#include "net/ring_fifo.h"
 
 namespace ndpsim {
 
@@ -58,8 +57,8 @@ class p4_ndp_pipeline final : public queue_base {
   void to_priority(packet& p);
 
   p4_pipeline_config cfg_;
-  std::deque<packet*> normal_;
-  std::deque<packet*> priority_;
+  ring_fifo<packet*> normal_;
+  ring_fifo<packet*> priority_;
   std::uint64_t qs_register_ = 0;
   std::uint64_t hdr_bytes_ = 0;
   table_hits hits_;

@@ -36,9 +36,7 @@ void pull_pacer::remove(ndp_sink& sink) {
   if (sink.in_ring_) {
     // Scan every class: a re-classed sink can sit in a ring other than its
     // current pull_class() until the pacer rotates past it.
-    for (auto& ring : rings_) {
-      ring.erase(std::remove(ring.begin(), ring.end(), &sink), ring.end());
-    }
+    for (auto& ring : rings_) (void)ring.erase_value(&sink);
     sink.in_ring_ = false;
   }
 }

@@ -9,9 +9,9 @@
 #pragma once
 
 #include <array>
-#include <deque>
 #include <functional>
 
+#include "net/ring_fifo.h"
 #include "net/sim_env.h"
 #include "sim/eventlist.h"
 
@@ -58,7 +58,7 @@ class pull_pacer final : public event_source {
 
   sim_env& env_;
   linkspeed_bps rate_;
-  std::array<std::deque<ndp_sink*>, kPullClasses> rings_;
+  std::array<ring_fifo<ndp_sink*>, kPullClasses> rings_;
   std::function<simtime_t(simtime_t)> jitter_;
   simtime_t next_send_ = 0;
   simtime_t ideal_next_ = 0;  ///< unjittered schedule (rate conservation)

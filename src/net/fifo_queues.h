@@ -13,13 +13,25 @@ class drop_tail_queue : public queue_base {
  public:
   drop_tail_queue(sim_env& env, linkspeed_bps rate, std::uint64_t capacity_bytes,
                   name_ref name = "droptail")
-      : queue_base(env, rate, std::move(name)), capacity_(capacity_bytes) {}
+      : queue_base(env, rate, std::move(name), dequeue_kind::fifo),
+        capacity_(capacity_bytes) {}
 
   [[nodiscard]] std::uint64_t buffered_bytes() const override { return bytes_; }
   [[nodiscard]] std::size_t buffered_packets() const override {
     return fifo_.size();
   }
   [[nodiscard]] std::uint64_t capacity_bytes() const { return capacity_; }
+
+  // dequeue_kind::fifo hooks (see queue_base::dequeue_next_dispatch).  The
+  // qualified call is static even for the ECN subclasses — they share this
+  // exact dequeue body and only override admission.
+  [[nodiscard]] packet* dequeue_direct() {
+    return drop_tail_queue::dequeue_next();
+  }
+  void prefetch_front_slots() const { fifo_.prefetch_front_slot(); }
+  void prefetch_front_packets() const {
+    if (!fifo_.empty()) __builtin_prefetch(fifo_.front());
+  }
 
  protected:
   void enqueue_arrival(packet& p) override {
@@ -130,20 +142,34 @@ class host_priority_queue final : public queue_base {
   host_priority_queue(sim_env& env, linkspeed_bps rate,
                       name_ref name = "hostnic",
                       std::uint64_t data_capacity_bytes = 0)
-      : queue_base(env, rate, std::move(name)),
+      : queue_base(env, rate, std::move(name), dequeue_kind::host_priority),
         data_capacity_(data_capacity_bytes) {}
 
   [[nodiscard]] std::uint64_t buffered_bytes() const override {
     return bytes_;
   }
   [[nodiscard]] std::size_t buffered_packets() const override {
-    return ctrl_.size() + data_.size();
+    return packets_;
+  }
+
+  // dequeue_kind::host_priority hooks.
+  [[nodiscard]] packet* dequeue_direct() {
+    return host_priority_queue::dequeue_next();
+  }
+  void prefetch_front_slots() const {
+    ctrl_.prefetch_front_slot();
+    data_.prefetch_front_slot();
+  }
+  void prefetch_front_packets() const {
+    if (!ctrl_.empty()) __builtin_prefetch(ctrl_.front());
+    if (!data_.empty()) __builtin_prefetch(data_.front());
   }
 
  protected:
   void enqueue_arrival(packet& p) override {
     if (p.is_header_class()) {
       bytes_ += p.size_bytes;
+      ++packets_;
       p.enqueue_time = env_.now();
       ctrl_.push_back(&p);
       return;
@@ -154,6 +180,7 @@ class host_priority_queue final : public queue_base {
     }
     bytes_ += p.size_bytes;
     data_bytes_ += p.size_bytes;
+    ++packets_;
     p.enqueue_time = env_.now();
     data_.push_back(&p);
   }
@@ -168,7 +195,10 @@ class host_priority_queue final : public queue_base {
       data_.pop_front();
       data_bytes_ -= p->size_bytes;
     }
-    if (p != nullptr) bytes_ -= p->size_bytes;
+    if (p != nullptr) {
+      bytes_ -= p->size_bytes;
+      --packets_;
+    }
     return p;
   }
 
@@ -177,6 +207,7 @@ class host_priority_queue final : public queue_base {
   ring_fifo<packet*> data_;
   std::uint64_t bytes_ = 0;
   std::uint64_t data_bytes_ = 0;
+  std::size_t packets_ = 0;  ///< ctrl_+data_ depth, kept incrementally
   std::uint64_t data_capacity_;
 };
 

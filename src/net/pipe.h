@@ -27,6 +27,7 @@ class pipe final : public packet_sink, public event_source {
       : event_source(env.events, std::move(name), dispatch_class::pipe_expiry),
         delay_(delay),
         lane_(env.events.lane_for(dispatch_class::pipe_expiry, delay)) {
+    kind_ = sink_kind::pipe;  // hop-delivery fast path (send_to_next_hop)
     NDPSIM_ASSERT(delay_ >= 0);
     // Distinct pipe delays come from topology configs — a handful of values
     // per fabric.  Exhausting the lane table here means something is
@@ -54,38 +55,14 @@ class pipe final : public packet_sink, public event_source {
 
   /// Flat batch handler for dispatch_class::pipe_expiry (registered by
   /// `install_flat_handlers`): must do exactly what per-entry
-  /// `do_lane_event` does, in order.  The run is pipelined three entries
-  /// deep: delivery is a dependent-load chain (packet -> route slot -> sink
-  /// table entry -> sink object) whose misses dominate the k=32 hot path,
-  /// so each stage prefetches one link for a future entry while the current
-  /// one does real work.
-  static void dispatch_run(event_source* const* /*srcs*/,
-                           const std::uint64_t* payloads, std::size_t n) {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (i + 5 < n) {
-        const char* q = reinterpret_cast<const char*>(payloads[i + 5]);
-        __builtin_prefetch(q);
-        __builtin_prefetch(q + 64);  // rt/next_hop sit past the first line
-      }
-      if (i + 4 < n) {
-        const packet* q = reinterpret_cast<const packet*>(payloads[i + 4]);
-        __builtin_prefetch(q->rt);
-      }
-      if (i + 3 < n) {
-        const packet* q = reinterpret_cast<const packet*>(payloads[i + 3]);
-        q->rt->prefetch_hop_slot(q->next_hop);
-      }
-      if (i + 2 < n) {
-        const packet* q = reinterpret_cast<const packet*>(payloads[i + 2]);
-        q->rt->prefetch_hop_table(q->next_hop);
-      }
-      if (i + 1 < n) {
-        const packet* q = reinterpret_cast<const packet*>(payloads[i + 1]);
-        q->rt->prefetch_hop_sink(q->next_hop);
-      }
-      send_to_next_hop(*reinterpret_cast<packet*>(payloads[i]));
-    }
-  }
+  /// `do_lane_event` does, in order.  Delivery is a dependent-load chain
+  /// (packet -> route slot -> sink table entry -> sink object -> demux hash
+  /// bucket) whose misses dominate the k=32 hot path, so the run is
+  /// pipelined six entries deep: each stage prefetches one link for a
+  /// future entry while the current one does real work.  Defined in
+  /// flat_dispatch.cpp (the last stage peeks into flow_demux).
+  static void dispatch_run(event_source* const* srcs,
+                           const std::uint64_t* payloads, std::size_t n);
 
  private:
   simtime_t delay_;

@@ -44,17 +44,36 @@ struct queue_stats {
   std::uint64_t bytes_forwarded = 0;
 };
 
+/// Concrete dequeue discipline tag, set once at construction.  The service
+/// path dispatches on it with a switch instead of the `dequeue_next` vtable
+/// slot (`dequeue_next_dispatch` below), so the per-completion dequeue is a
+/// direct call into a final class body the compiler can inline.  `other` is
+/// the escape hatch: composites (coexist_queue) and test doubles keep the
+/// virtual path, bit-identically.
+enum class dequeue_kind : std::uint8_t {
+  other = 0,      ///< fall back to the virtual dequeue_next
+  fifo,           ///< drop_tail_queue family (ECN variants share its body)
+  ndp_wrr,        ///< ndp_queue (10:1 weighted round robin)
+  host_priority,  ///< host_priority_queue (ctrl over data)
+  cp_fifo,        ///< cp_queue (single FIFO, CP baseline)
+};
+
 class queue_base : public packet_sink, public event_source {
   // coexist_queue composes two child queues and drives their (protected)
   // admission/scheduling hooks directly, without giving them the wire.
   friend class coexist_queue;
 
  public:
-  queue_base(sim_env& env, linkspeed_bps rate, name_ref name)
+  queue_base(sim_env& env, linkspeed_bps rate, name_ref name,
+             dequeue_kind kind = dequeue_kind::other)
       : event_source(env.events, std::move(name),
                      dispatch_class::queue_service),
         env_(env),
-        rate_(rate) {
+        rate_(rate),
+        dequeue_kind_(kind) {
+    // All queues share the final receive() below, so the hop-delivery fast
+    // path may call it through the base type for every subclass.
+    kind_ = sink_kind::queue;
     NDPSIM_ASSERT(rate > 0);
   }
 
@@ -71,46 +90,13 @@ class queue_base : public packet_sink, public event_source {
   /// Flat batch handler for dispatch_class::queue_service (registered by
   /// `install_flat_handlers`): must do exactly what per-entry
   /// `do_lane_event` does, in order.  Pipelined like pipe::dispatch_run —
-  /// the queue object, its in-service packet and that packet's next-hop
-  /// resolution are prefetched for future entries of the run.
+  /// the queue object, its in-service packet, that packet's next-hop
+  /// resolution AND the front of the ring the next dequeue will pop are
+  /// prefetched for future entries of the run.  Defined in flat_dispatch.cpp
+  /// where the concrete queue types are visible (the ring prefetches switch
+  /// on `dequeue_kind_`).
   static void dispatch_run(event_source* const* srcs,
-                           const std::uint64_t* /*payloads*/, std::size_t n) {
-    for (std::size_t i = 0; i < n; ++i) {
-      if (i + 5 < n) {
-        const char* q =
-            reinterpret_cast<const char*>(static_cast<queue_base*>(srcs[i + 5]));
-        __builtin_prefetch(q);
-        __builtin_prefetch(q + 64);
-      }
-      if (i + 4 < n) {
-        const queue_base* qb = static_cast<const queue_base*>(srcs[i + 4]);
-        const char* p = reinterpret_cast<const char*>(qb->serving_);
-        __builtin_prefetch(p);
-        __builtin_prefetch(p + 64);
-      }
-      if (i + 3 < n) {
-        const queue_base* qb = static_cast<const queue_base*>(srcs[i + 3]);
-        const packet* p = qb->serving_;
-        if (p != nullptr) __builtin_prefetch(p->rt);
-      }
-      if (i + 2 < n) {
-        const queue_base* qb = static_cast<const queue_base*>(srcs[i + 2]);
-        const packet* p = qb->serving_;
-        if (p != nullptr && p->rt != nullptr) {
-          p->rt->prefetch_hop_slot(p->next_hop);
-          p->rt->prefetch_hop_table(p->next_hop);
-        }
-      }
-      if (i + 1 < n) {
-        const queue_base* qb = static_cast<const queue_base*>(srcs[i + 1]);
-        const packet* p = qb->serving_;
-        if (p != nullptr && p->rt != nullptr) {
-          p->rt->prefetch_hop_sink(p->next_hop);
-        }
-      }
-      static_cast<queue_base*>(srcs[i])->service_complete();
-    }
-  }
+                           const std::uint64_t* payloads, std::size_t n);
 
   /// PFC: pause/resume serving (the packet on the wire always completes).
   void set_paused(bool paused) {
@@ -139,9 +125,14 @@ class queue_base : public packet_sink, public event_source {
   /// Pick the next packet to serialize, or nullptr if none.
   [[nodiscard]] virtual packet* dequeue_next() = 0;
 
+  /// Devirtualized dequeue: switch on `dequeue_kind_` and call the concrete
+  /// final class's `dequeue_next` body directly; `other` falls back to the
+  /// virtual call.  Defined in flat_dispatch.cpp (needs the concrete types).
+  [[nodiscard]] packet* dequeue_next_dispatch();
+
   void try_start_service() {
     if (serving_ != nullptr || paused_) return;
-    packet* p = dequeue_next();
+    packet* p = dequeue_next_dispatch();
     if (p == nullptr) return;
     serving_ = p;
     const simtime_t st = serialization_time(p->size_bytes, rate_);
@@ -181,6 +172,13 @@ class queue_base : public packet_sink, public event_source {
   sim_env& env_;
 
  private:
+  // Ring-front prefetch stages for dispatch_run: first the slot the next
+  // dequeue will pop (the ring buffer entry), then the packet that slot
+  // points at (whose hot header the dequeue body reads).  Both switch on
+  // `dequeue_kind_`; defined in flat_dispatch.cpp.
+  void prefetch_dequeue_slot() const;
+  void prefetch_dequeue_packet() const;
+
   void service_complete() {
     NDPSIM_ASSERT_MSG(serving_ != nullptr, "queue service event with no packet");
     packet* p = serving_;
@@ -199,6 +197,7 @@ class queue_base : public packet_sink, public event_source {
   simtime_t lane_delta_[2] = {-1, -1};
   std::uint32_t lane_id_[2] = {event_list::kNoLane, event_list::kNoLane};
   queue_stats stats_;
+  dequeue_kind dequeue_kind_;
   std::function<void(packet&)> on_depart_;
 };
 

@@ -57,6 +57,14 @@ class ring_fifo {
     return buf_[(head_ + size_ - 1) & (cap_ - 1)];
   }
 
+  /// Prefetch the slot `front()` would return (no-op when empty).  The batch
+  /// dispatch pipeline issues this a few entries ahead so the ring entry —
+  /// and, one stage later, the packet it points at — are in cache by the
+  /// time the dequeue body pops them.
+  void prefetch_front_slot() const {
+    if (size_ != 0) __builtin_prefetch(&buf_[head_]);
+  }
+
   void pop_front() {
     NDPSIM_ASSERT_MSG(size_ > 0, "pop_front() on empty ring_fifo");
     head_ = (head_ + 1) & (cap_ - 1);
@@ -76,6 +84,23 @@ class ring_fifo {
   [[nodiscard]] const T& at(std::size_t i) const {
     NDPSIM_ASSERT_MSG(i < size_, "ring_fifo index out of range");
     return buf_[(head_ + i) & (cap_ - 1)];
+  }
+
+  /// Remove every element equal to `v`, preserving the relative order of
+  /// the rest.  O(size) compaction — teardown-path only (e.g. the pull
+  /// pacer eagerly dropping a destroyed sink's ring entry), never per
+  /// event.
+  std::size_t erase_value(const T& v) {
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+      T& e = buf_[(head_ + i) & (cap_ - 1)];
+      if (e == v) continue;
+      if (kept != i) buf_[(head_ + kept) & (cap_ - 1)] = std::move(e);
+      ++kept;
+    }
+    const std::size_t removed = size_ - kept;
+    size_ = kept;
+    return removed;
   }
 
   /// Pre-size the buffer to at least `n` slots (rounded up to a power of

@@ -92,6 +92,67 @@ INSTANTIATE_TEST_SUITE_P(all_transports, flat_dispatch_identity,
                          });
 
 // ---------------------------------------------------------------------------
+// Layout-vs-seed identity: the packet hot/cold split, the allocation-order
+// pool and the devirtualized dequeue tier are memory-layout changes, never
+// semantics changes.  These goldens pin the bitwise FCT record stream (and
+// total event count) of the seeded k=4 permutation for every transport, as
+// produced by the tree *before* those changes; any later divergence means a
+// layout/pool/dequeue change altered simulation behavior.
+//
+// Regenerate only for an intentional, justified semantic change: run with
+// --gtest_filter='*golden*' — each failure message prints the observed hash.
+// ---------------------------------------------------------------------------
+
+std::uint64_t fnv1a_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+std::uint64_t hash_workload(const workload_result& r) {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a offset basis
+  h = fnv1a_mix(h, r.events);
+  for (const flow_record& f : r.records) {
+    h = fnv1a_mix(h, f.id);
+    h = fnv1a_mix(h, f.src);
+    h = fnv1a_mix(h, f.dst);
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(f.start));
+    h = fnv1a_mix(h, static_cast<std::uint64_t>(f.end));
+    h = fnv1a_mix(h, f.complete ? 1u : 0u);
+  }
+  return h;
+}
+
+struct golden_case {
+  protocol proto;
+  std::uint64_t hash;
+};
+
+class fct_golden_identity : public ::testing::TestWithParam<golden_case> {};
+
+TEST_P(fct_golden_identity, fct_records_bitwise_match_seed) {
+  const workload_result got = run_workload(GetParam().proto, true);
+  EXPECT_EQ(hash_workload(got), GetParam().hash)
+      << "observed hash 0x" << std::hex << hash_workload(got) << " for "
+      << to_string(GetParam().proto)
+      << " — a layout/pool/dequeue change altered simulation behavior";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    all_transports, fct_golden_identity,
+    // TCP and DCTCP coincide: at this scale no queue crosses the marking
+    // threshold, so DCTCP degenerates to TCP bit-for-bit.
+    ::testing::Values(golden_case{protocol::ndp, 0x842a2a02fd7f49a0ull},
+                      golden_case{protocol::tcp, 0xfd24f29ceef13bbfull},
+                      golden_case{protocol::dctcp, 0xfd24f29ceef13bbfull},
+                      golden_case{protocol::mptcp, 0x1f83e18aab0598e5ull},
+                      golden_case{protocol::dcqcn, 0x2f789aa7a98cb4e1ull},
+                      golden_case{protocol::phost, 0x52a72b6c09461e23ull}),
+    [](const auto& info) { return std::string(to_string(info.param.proto)); });
+
+// ---------------------------------------------------------------------------
 // Scheduler-level identity: zero-delay self-rescheduling lane sources racing
 // a heap timer at the same timestamps.  This is the nastiest ordering case —
 // a flat run must not swallow entries scheduled *during* the run (they carry

@@ -129,6 +129,57 @@ TEST(ndp_queue, headers_drain_completely_when_no_data_waits) {
   EXPECT_EQ(sink.count(), 5u);
 }
 
+TEST(ndp_queue, wrr_credit_only_charged_under_contention) {
+  // Serving headers from an otherwise-empty port must not consume WRR
+  // credit: when data shows up later, the full `wrr_headers_per_data` ratio
+  // is still available to the headers already queued.  (If uncontended
+  // service charged credit, the first dequeue after data arrived would be
+  // forced to serve data even though no header ever delayed it.)
+  sim_env env;
+  recording_sink sink(env);
+  ndp_queue_config cfg = small_q(8);
+  cfg.wrr_headers_per_data = 2;
+  ndp_queue q(env, gbps(10), cfg);
+  owned_route r;
+  r.push_back(&q);
+  r.push_back(&sink);
+  // Phase 1: five headers drain uncontended — more than the ratio.
+  for (std::uint64_t i = 100; i < 105; ++i) {
+    packet* c = env.pool.alloc();
+    c->type = packet_type::ndp_ack;
+    c->size_bytes = kHeaderBytes;
+    c->seqno = i;
+    c->rt = &r;
+    c->next_hop = 0;
+    send_to_next_hop(*c);
+  }
+  env.events.run_all();
+  ASSERT_EQ(sink.count(), 5u);
+  // Phase 2: contention — data and headers queued together while paused.
+  q.set_paused(true);
+  for (std::uint64_t i = 1; i <= 2; ++i) {
+    send_to_next_hop(*make_data(env, &r, 9000, i));
+  }
+  for (std::uint64_t i = 200; i < 203; ++i) {
+    packet* c = env.pool.alloc();
+    c->type = packet_type::ndp_ack;
+    c->size_bytes = kHeaderBytes;
+    c->seqno = i;
+    c->rt = &r;
+    c->next_hop = 0;
+    send_to_next_hop(*c);
+  }
+  q.set_paused(false);
+  env.events.run_all();
+  ASSERT_EQ(sink.count(), 10u);
+  // The two headers of the ratio must both precede the first data packet —
+  // phase 1 charged no credit.
+  const auto& as = sink.arrivals();
+  EXPECT_EQ(as[5].type, packet_type::ndp_ack);
+  EXPECT_EQ(as[6].type, packet_type::ndp_ack);
+  EXPECT_EQ(as[7].type, packet_type::ndp_data);
+}
+
 TEST(ndp_queue, random_trim_position_spreads_victims) {
   // With the 50% coin, both "arriving" and "tail" should get trimmed over
   // many trials; with the coin disabled, the arriving packet is always the

@@ -64,6 +64,65 @@ TEST(packet_pool, released_packet_can_be_reallocated_cleanly) {
   pool.release(b);
 }
 
+TEST(packet_pool, compaction_prefers_lowest_addresses) {
+  // Release in a scrambled order across two slabs, compact, then check the
+  // pool hands back ascending pool slots: the compaction sort means the
+  // next allocation burst walks the slabs front to back.
+  packet_pool pool;
+  std::vector<packet*> ps;
+  for (int i = 0; i < 2000; ++i) ps.push_back(pool.alloc());
+  for (std::size_t i = 0; i < ps.size(); i += 2) pool.release(ps[i]);
+  for (std::size_t i = 1; i < ps.size(); i += 2) pool.release(ps[i]);
+  pool.compact();
+  // The free list is now fully sorted, so allocation replays the original
+  // ascending slot order regardless of the scrambled release order.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(pool.alloc(), ps[i]);
+  }
+}
+
+TEST(packet_pool, double_free_detected_across_compaction) {
+  // compact() re-sorts the free list; the in-pool poison lives in the packet
+  // itself, so a stale pointer must still be rejected afterwards and the
+  // slot must come back exactly once.
+  packet_pool pool;
+  packet* a = pool.alloc();
+  packet* b = pool.alloc();
+  pool.release(b);
+  pool.release(a);
+  pool.compact();
+  EXPECT_THROW(pool.release(a), simulation_error);
+  packet* x = pool.alloc();
+  packet* y = pool.alloc();
+  EXPECT_NE(x, y);
+  EXPECT_EQ(pool.outstanding(), 2u);
+  pool.release(x);
+  pool.release(y);
+}
+
+TEST(packet_pool, compaction_preserves_outstanding_packets) {
+  // Live packets are untouched by compaction: contents, addresses and the
+  // double-free guard all survive a compact() of the free list around them.
+  packet_pool pool;
+  std::vector<packet*> live;
+  for (int i = 0; i < 1500; ++i) {
+    packet* p = pool.alloc();
+    p->seqno = static_cast<std::uint64_t>(i);
+    if (i % 3 == 0) {
+      live.push_back(p);
+    } else {
+      pool.release(p);
+    }
+  }
+  pool.compact();
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(live[i]->seqno, static_cast<std::uint64_t>(3 * i));
+    EXPECT_FALSE(live[i]->in_pool);
+  }
+  for (packet* p : live) pool.release(p);
+  EXPECT_EQ(pool.outstanding(), 0u);
+}
+
 TEST(packet_pool, grows_beyond_one_block) {
   packet_pool pool;
   std::vector<packet*> ps;
