@@ -906,7 +906,11 @@ flat_dispatch_result run_flat_dispatch_bench(bool quick) {
   flat_dispatch_result r;
   mode_out v = run_mode(false);
   mode_out fl = run_mode(true);
-  for (int round = 1; round < (quick ? 2 : 3); ++round) {
+  // Enough rounds that quick-mode candidates converge near the committed
+  // full-run min: the CI regression gate divides this section's rate by the
+  // committed one, and a best-of-2 quick reading sits 15-25% above the
+  // best-of-5 floor often enough to flake a 20% tolerance.
+  for (int round = 1; round < (quick ? 4 : 5); ++round) {
     const mode_out v2 = run_mode(false);
     const mode_out f2 = run_mode(true);
     if (v2.cpu_sec < v.cpu_sec) v.cpu_sec = v2.cpu_sec;
@@ -919,6 +923,100 @@ flat_dispatch_result run_flat_dispatch_bench(bool quick) {
   r.flat_events = fl.stats.flat_events;
   r.heap_events = fl.stats.heap_events;
   r.identical = v.events == fl.events;
+  return r;
+}
+
+// --------------------------------------------------------------------------
+// Section 4d: telemetry overhead — section 4b's seeded k=16 NDP permutation
+// (flat dispatch on, the production configuration) run twice: with no
+// telemetry plane on the env (every component's `tele_` stays null — the
+// "one never-taken branch per site" tier, which must be within noise of a
+// build without the hooks) and with every slot armed plus the epoch
+// collector sampling at 20us (the "one indexed increment per counted event"
+// tier, gated at <=10% end-to-end).  Telemetry is observational-only, so
+// the two modes must process the identical transport event sequence — the
+// collector's own timer firings are the one legitimate count difference and
+// are subtracted before the identity check; any other divergence is FATAL.
+// Both modes build through the shared-blueprint testbed so the *only*
+// difference between them is the plane.
+// --------------------------------------------------------------------------
+
+struct telemetry_bench_result {
+  std::uint64_t events = 0;  ///< transport events per mode (identical)
+  double off_sec = 0;        ///< best-of cpu seconds, no plane attached
+  double on_sec = 0;         ///< best-of cpu seconds, armed + collector
+  std::uint64_t armed_slots = 0;
+  std::uint64_t collector_epochs = 0;  ///< snapshots taken in the on mode
+  bool identical = false;
+  [[nodiscard]] double overhead() const { return on_sec / off_sec; }
+};
+
+telemetry_bench_result run_telemetry_bench(bool quick) {
+  struct mode_out {
+    std::uint64_t events = 0;  ///< collector's own firings already excluded
+    double cpu_sec = 0;
+    std::uint64_t epochs = 0;
+    std::uint64_t armed = 0;
+  };
+  auto run_mode = [](bool telemetry) {
+    fabric_params fp;
+    fp.proto = protocol::ndp;
+    sim_env env(7);
+    auto bp = make_fat_tree_blueprint(16, fp);
+    if (telemetry) {
+      env.telemetry =
+          std::make_shared<telemetry_plane>(bp->n_slots(), bp.get());
+    }
+    testbed bed(env, bp, fp);
+    bed.env.events.set_flat_dispatch(true);
+    std::unique_ptr<telemetry_collector> col;
+    if (telemetry) {
+      // 20us epochs sample the ~400us run ~20 times — dense enough to be a
+      // real collector workload without snapshot copies dominating the
+      // measured overhead (each epoch copies the full counter plane).
+      col = std::make_unique<telemetry_collector>(env.events, *env.telemetry,
+                                                  from_us(20));
+      col->start();
+    }
+    flow_options o;
+    const double c0 = cpu_seconds_now();
+    const auto res =
+        run_permutation(bed, protocol::ndp, o, from_us(100), from_us(300));
+    (void)res;
+    mode_out out;
+    out.cpu_sec = cpu_seconds_now() - c0;
+    out.events = env.events.events_processed();
+    if (col != nullptr) {
+      out.epochs = col->recorded_epochs();
+      // Every snapshot after the t=0 baseline was a timer event; subtracting
+      // them makes the off-vs-on identity check exact.
+      out.events -= col->recorded_epochs() - 1;
+      for (std::uint32_t s = 0; s < env.telemetry->n_slots(); ++s) {
+        if (env.telemetry->info(s).armed) ++out.armed;
+      }
+    }
+    return out;
+  };
+  // More best-of rounds than the other sections: the overhead gate divides
+  // two ~0.3s timings, so a single slow round on a shared machine shows up
+  // as percentage points of fake overhead.  The min converges slowly — an
+  // isolated best-of-8 measures ~5% where best-of-3 reads 11-14% on an idle
+  // machine — so even the quick tier gets 5 interleaved rounds.
+  mode_out off = run_mode(false);
+  mode_out on = run_mode(true);
+  for (int round = 1; round < (quick ? 5 : 8); ++round) {
+    const mode_out o2 = run_mode(false);
+    const mode_out n2 = run_mode(true);
+    if (o2.cpu_sec < off.cpu_sec) off.cpu_sec = o2.cpu_sec;
+    if (n2.cpu_sec < on.cpu_sec) on.cpu_sec = n2.cpu_sec;
+  }
+  telemetry_bench_result r;
+  r.events = off.events;
+  r.off_sec = off.cpu_sec;
+  r.on_sec = on.cpu_sec;
+  r.armed_slots = on.armed;
+  r.collector_epochs = on.epochs;
+  r.identical = off.events == on.events;
   return r;
 }
 
@@ -1108,28 +1206,36 @@ packet_path_result run_packet_path(bool quick) {
   packet_path_result r;
   r.live_packets = 1 << 16;  // 64k live packets: ~8 MB, past L2
   r.ops = quick ? 4'000'000 : 20'000'000;
-  std::uint64_t sum_legacy = 0;
-  std::uint64_t sum_new = 0;
   // Warm pass, then measure against the SAME pool: the warm pass faults the
   // slab pages in and — the point of the comparison — ages the free list
   // into the state each policy sustains (shuffled for the legacy LIFO,
-  // address-clustered for the ordered pool).
-  {
-    legacy_pool pool;
-    std::uint64_t warm_sum = 0;
-    (void)drive<legacy_packet>(pool, r.ops / 8, r.live_packets, &warm_sum);
-    r.legacy_sec =
-        drive<legacy_packet>(pool, r.ops, r.live_packets, &sum_legacy);
+  // address-clustered for the ordered pool).  Interleaved best-of rounds:
+  // each side is a single ~0.7s timing, so one external load blip lands on
+  // one side only and fabricates a 20-30% "speedup" swing either way.
+  r.legacy_sec = 1e9;
+  r.new_sec = 1e9;
+  for (int round = 0; round < (quick ? 2 : 3); ++round) {
+    std::uint64_t sum_legacy = 0;
+    std::uint64_t sum_new = 0;
+    {
+      legacy_pool pool;
+      std::uint64_t warm_sum = 0;
+      (void)drive<legacy_packet>(pool, r.ops / 8, r.live_packets, &warm_sum);
+      r.legacy_sec = std::min(
+          r.legacy_sec,
+          drive<legacy_packet>(pool, r.ops, r.live_packets, &sum_legacy));
+    }
+    {
+      new_pool pool;
+      std::uint64_t warm_sum = 0;
+      (void)drive<packet>(pool, r.ops / 8, r.live_packets, &warm_sum);
+      r.new_sec =
+          std::min(r.new_sec, drive<packet>(pool, r.ops, r.live_packets, &sum_new));
+    }
+    // Same rng stream, same sizes: both drivers must have done identical work.
+    NDPSIM_ASSERT_MSG(sum_legacy == sum_new,
+                      "packet_path drivers diverged — bench bug");
   }
-  {
-    new_pool pool;
-    std::uint64_t warm_sum = 0;
-    (void)drive<packet>(pool, r.ops / 8, r.live_packets, &warm_sum);
-    r.new_sec = drive<packet>(pool, r.ops, r.live_packets, &sum_new);
-  }
-  // Same rng stream, same sizes: both drivers must have done identical work.
-  NDPSIM_ASSERT_MSG(sum_legacy == sum_new,
-                    "packet_path drivers diverged — bench bug");
   return r;
 }
 
@@ -1189,8 +1295,12 @@ int main(int argc, char** argv) {
     (void)churn_new(warm, &tmp);
     (void)churn_legacy(warm, &tmp, &legacy_spurious);
   }
-  const double t_new = churn_new(cp, &new_fires);
-  const double t_legacy = churn_legacy(cp, &legacy_fires, &legacy_spurious);
+  // Interleaved best-of-2 for the same reason as the tick section below:
+  // single ~0.1s timings under a CI rate gate.
+  double t_new = churn_new(cp, &new_fires);
+  double t_legacy = churn_legacy(cp, &legacy_fires, &legacy_spurious);
+  t_new = std::min(t_new, churn_new(cp, &new_fires));
+  t_legacy = std::min(t_legacy, churn_legacy(cp, &legacy_fires, &legacy_spurious));
   const double churn_new_ops = static_cast<double>(cp.acks) / t_new;
   const double churn_legacy_ops = static_cast<double>(cp.acks) / t_legacy;
   std::printf("timer churn (%zu flows, %llu acks):\n", cp.flows,
@@ -1205,9 +1315,16 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(legacy_spurious));
   std::printf("  speedup: %.2fx\n\n", t_legacy / t_new);
 
+  // Interleaved best-of: each side is a single ~0.5s timing, and the CI
+  // regression gate compares this rate against the committed baseline's, so
+  // a one-off load blip on either side flakes the 20% tolerance.
   const std::uint64_t tick_events = 4'000'000;
-  const double tick_new_s = ticks_new(4096, tick_events);
-  const double tick_legacy_s = ticks_legacy(4096, tick_events);
+  double tick_new_s = ticks_new(4096, tick_events);
+  double tick_legacy_s = ticks_legacy(4096, tick_events);
+  for (int round = 1; round < 2; ++round) {
+    tick_new_s = std::min(tick_new_s, ticks_new(4096, tick_events));
+    tick_legacy_s = std::min(tick_legacy_s, ticks_legacy(4096, tick_events));
+  }
   const double tick_new_eps = static_cast<double>(tick_events) / tick_new_s;
   const double tick_legacy_eps =
       static_cast<double>(tick_events) / tick_legacy_s;
@@ -1323,6 +1440,26 @@ int main(int argc, char** argv) {
   if (!fd.identical) {
     std::fprintf(stderr,
                  "FATAL: flat dispatch diverged from virtual dispatch\n");
+    return 1;
+  }
+
+  // ---- Section 4d: telemetry off vs on, on the same workload as 4b.
+  const telemetry_bench_result tb = run_telemetry_bench(quick);
+  std::printf(
+      "\ntelemetry (k=16 NDP permutation, flat dispatch, %llu events/mode):\n"
+      "  off : %.3f cpu-s  %.2fM events/s\n"
+      "  on  : %.3f cpu-s  %.2fM events/s  (%llu slots armed, %llu epochs "
+      "sampled)\n"
+      "  overhead: %.1f%%, transport event counts %s\n",
+      static_cast<unsigned long long>(tb.events), tb.off_sec,
+      static_cast<double>(tb.events) / tb.off_sec / 1e6, tb.on_sec,
+      static_cast<double>(tb.events) / tb.on_sec / 1e6,
+      static_cast<unsigned long long>(tb.armed_slots),
+      static_cast<unsigned long long>(tb.collector_epochs),
+      (tb.overhead() - 1.0) * 100.0, tb.identical ? "IDENTICAL" : "DIVERGED");
+  if (!tb.identical) {
+    std::fprintf(stderr,
+                 "FATAL: telemetry perturbed the transport event sequence\n");
     return 1;
   }
 
@@ -1571,6 +1708,17 @@ int main(int argc, char** argv) {
       fd.identical ? "true" : "false");
   std::fprintf(
       f,
+      "  \"telemetry\": {\"events\": %llu, \"off_events_per_sec\": %.0f, "
+      "\"on_events_per_sec\": %.0f, \"overhead\": %.4f, \"armed_slots\": "
+      "%llu, \"collector_epochs\": %llu, \"identical_events\": %s},\n",
+      static_cast<unsigned long long>(tb.events),
+      static_cast<double>(tb.events) / tb.off_sec,
+      static_cast<double>(tb.events) / tb.on_sec, tb.overhead(),
+      static_cast<unsigned long long>(tb.armed_slots),
+      static_cast<unsigned long long>(tb.collector_epochs),
+      tb.identical ? "true" : "false");
+  std::fprintf(
+      f,
       "  \"packet_path\": {\"ops\": %llu, \"live_packets\": %zu, "
       "\"legacy_ops_per_sec\": %.0f, \"new_ops_per_sec\": %.0f, "
       "\"speedup\": %.3f},\n",
@@ -1641,6 +1789,27 @@ int main(int argc, char** argv) {
                  "WARNING: flat dispatch speedup %.2fx below the 1.2x "
                  "target\n",
                  fd.speedup());
+  }
+  if (tb.overhead() > 1.10) {
+    std::fprintf(stderr,
+                 "WARNING: telemetry-on overhead %.1f%% above the 10%% "
+                 "budget\n",
+                 (tb.overhead() - 1.0) * 100.0);
+  }
+  // Unarmed telemetry is one never-taken branch per site: its rate must sit
+  // within noise of section 4b's flat run of the very same workload (same
+  // binary, same process — a real regression here means the hooks cost
+  // something even when off).  The bar is 10%, not tighter: the two
+  // sections time the identical configuration minutes apart and
+  // cross-section drift alone spans ~7% on a shared machine, while a hook
+  // that acquires real unarmed cost lands far above 10%.
+  const double fd_flat_eps = static_cast<double>(fd.events) / fd.flat_sec;
+  const double tb_off_eps = static_cast<double>(tb.events) / tb.off_sec;
+  if (tb_off_eps < 0.90 * fd_flat_eps) {
+    std::fprintf(stderr,
+                 "WARNING: telemetry-off rate %.2fM ev/s more than 10%% below "
+                 "the flat-dispatch run's %.2fM ev/s\n",
+                 tb_off_eps / 1e6, fd_flat_eps / 1e6);
   }
   return identical && shared_identical ? 0 : 2;
 }

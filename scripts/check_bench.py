@@ -11,10 +11,18 @@ is never an error.  Metrics present in only one file are skipped, so the
 check keeps working while benchmark sections are added (and while --quick
 runs omit the k=32 fabric-setup/figure entries).
 
-Two structural gates ride along (PR 6): the candidate's flat_dispatch
-section must exist, be non-diverged and >= 1.2x; and the committed
-baseline's permutation_ndp_k32 figure must stay at or above the recorded
-floor (2.3M events/s since the packet-layout PR).
+Structural gates ride along: the candidate's flat_dispatch section must
+exist, be non-diverged and >= 1.2x (PR 6); the committed baseline's
+permutation_ndp_k32 figure must stay at or above the recorded floor (2.3M
+events/s since the packet-layout PR); and the candidate's telemetry section
+must exist, be non-diverged, with on-mode overhead <= 10% and the off
+(unarmed) mode within 10% of the same run's flat_dispatch rate on the
+identical workload (PR 8 — same-binary same-process comparison, so the
+bar does not depend on machine speed; it is 10% rather than tighter
+because the two sections time the identical configuration minutes apart
+and cross-section drift alone spans ~7% on a shared machine — the gate
+exists to catch an unarmed hook acquiring real cost, which shows up far
+above that).
 
 The comparison prints as a per-section table (figures, scheduler, churn,
 packet_path, ...) so an old-vs-new delta is readable section by section.
@@ -82,6 +90,9 @@ def rate_metrics(doc):
     fd = doc.get("flat_dispatch", {})
     if "flat_events_per_sec" in fd:
         out["flat_dispatch.flat_events_per_sec"] = fd["flat_events_per_sec"]
+    tel = doc.get("telemetry", {})
+    if "off_events_per_sec" in tel:
+        out["telemetry.off_events_per_sec"] = tel["off_events_per_sec"]
     pp = doc.get("packet_path", {})
     if "new_ops_per_sec" in pp:
         out["packet_path.new_ops_per_sec"] = pp["new_ops_per_sec"]
@@ -107,6 +118,40 @@ def check_flat_dispatch(doc):
     return failures
 
 
+def check_telemetry(doc):
+    """Structural gates on the candidate's telemetry section (PR 8): it must
+    exist, the off-vs-on transport event sequences must match, on-mode
+    overhead must stay within the 10% budget, and the unarmed (off) mode
+    must be within 10% of the same run's flat_dispatch rate — both sides of
+    that last gate come from one binary in one process over the identical
+    k=16 workload, so it is machine-independent.  The off/flat bar is 10%,
+    not tighter: the two sections time the same configuration minutes
+    apart, and cross-section drift alone spans ~7% on a shared machine;
+    a hook that acquires real unarmed cost (a lock, a missing null check)
+    lands far above 10%.
+    Returns a list of failure strings (empty = pass)."""
+    tel = doc.get("telemetry")
+    if tel is None:
+        return ["telemetry section missing from candidate"]
+    failures = []
+    if tel.get("identical_events") is not True:
+        failures.append("telemetry.identical_events is not true "
+                        "(telemetry perturbed the event sequence)")
+    overhead = tel.get("overhead", 0)
+    if not isinstance(overhead, (int, float)) or overhead > 1.10:
+        failures.append(
+            f"telemetry.overhead {overhead} above the 1.10 budget")
+    off = tel.get("off_events_per_sec", 0)
+    flat = doc.get("flat_dispatch", {}).get("flat_events_per_sec", 0)
+    if isinstance(off, (int, float)) and isinstance(flat, (int, float)) \
+            and flat > 0 and off < 0.90 * flat:
+        failures.append(
+            f"telemetry.off_events_per_sec {off:.0f} more than 10% below the "
+            f"same run's flat_dispatch.flat_events_per_sec {flat:.0f} "
+            "(unarmed hooks are not free)")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("committed")
@@ -123,6 +168,7 @@ def main():
     candidate = rate_metrics(candidate_doc)
 
     structural_failures = check_flat_dispatch(candidate_doc)
+    structural_failures += check_telemetry(candidate_doc)
     k32_rate = next(
         (fig.get("events_per_sec", 0)
          for fig in committed_doc.get("figures", [])
@@ -169,7 +215,7 @@ def main():
                   f"{args.tolerance:.0%}: {', '.join(failures)}")
         if structural_failures:
             print(f"FAILED: {len(structural_failures)} structural "
-                  "flat_dispatch gate(s), see above")
+                  "gate(s), see above")
         return 1
     print(f"\nall {len(shared)} shared metrics within {args.tolerance:.0%} "
           "of committed")

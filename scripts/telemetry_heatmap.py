@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Render an ASCII queue-depth heatmap from a telemetry JSON document.
+
+Input is the file produced by ndpsim's `write_telemetry_json` (see
+src/stats/telemetry_json.h for the schema): rows are queues, columns are
+collector epochs, cell shade is the chosen per-interval metric.  Stdlib
+only — no matplotlib in the loop; the point is a terminal-greppable view of
+where the fabric queued, dropped, trimmed or marked, straight from a run.
+
+Usage:
+  telemetry_heatmap.py TELEMETRY.json [--metric depth_pkts] [--level tor_up]
+                       [--top 24] [--width 100]
+
+Metrics: depth_pkts, depth_bytes, utilization, drops, trims, marks.
+--level filters rows by the queue's link level name as embedded in its slot
+name (e.g. "torup", "hostup" — substring match); --top keeps the rows with
+the largest peak value; --width resamples the epoch axis to fit a terminal.
+"""
+import argparse
+import json
+import sys
+
+SHADES = " .:-=+*#%@"
+
+
+def resample(values, width):
+    """Max-pool a series down to `width` buckets (max, not mean: a heatmap
+    for congestion diagnosis must not average away a one-epoch spike)."""
+    if len(values) <= width:
+        return values
+    out = []
+    for b in range(width):
+        lo = b * len(values) // width
+        hi = max(lo + 1, (b + 1) * len(values) // width)
+        out.append(max(values[lo:hi]))
+    return out
+
+
+def render(rows, width):
+    peak = max((max(r["series"]) for r in rows if r["series"]), default=0)
+    if peak <= 0:
+        return ["(all-zero series: nothing to plot)"], 0
+    name_w = max(len(r["name"]) for r in rows)
+    lines = []
+    for r in rows:
+        series = resample(r["series"], width)
+        cells = "".join(
+            SHADES[min(len(SHADES) - 1,
+                       int(v / peak * (len(SHADES) - 1) + 0.5))]
+            for v in series)
+        lines.append(f"{r['name']:>{name_w}} |{cells}|  peak {max(r['series']):g}")
+    return lines, peak
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("json_file")
+    ap.add_argument("--metric", default="depth_pkts",
+                    choices=["depth_pkts", "depth_bytes", "utilization",
+                             "drops", "trims", "marks"])
+    ap.add_argument("--level", default=None,
+                    help="substring filter on the queue name (e.g. torup)")
+    ap.add_argument("--top", type=int, default=24,
+                    help="keep the N rows with the largest peak")
+    ap.add_argument("--width", type=int, default=100,
+                    help="max epoch columns (max-pooled down to fit)")
+    args = ap.parse_args()
+
+    with open(args.json_file) as f:
+        doc = json.load(f)
+    ts = doc.get("timeseries")
+    if ts is None:
+        print("error: no timeseries section (run with a telemetry_collector "
+              "and pass it to write_telemetry_json)")
+        return 2
+
+    rows = []
+    for q in ts.get("queues", []):
+        if args.level and args.level not in q.get("name", ""):
+            continue
+        series = q.get(args.metric, [])
+        if series:
+            rows.append({"name": q["name"], "series": series})
+    if not rows:
+        print("error: no queue rows matched")
+        return 2
+    rows.sort(key=lambda r: max(r["series"]), reverse=True)
+    dropped = len(rows) - args.top
+    rows = rows[:args.top]
+
+    epochs = ts.get("epochs_us", [])
+    span = f"{epochs[0]:.0f}..{epochs[-1]:.0f}us" if epochs else "?"
+    lines, peak = render(rows, args.width)
+    print(f"{args.metric} heatmap, {len(rows)} queues, epochs {span} "
+          f"(epoch {ts.get('epoch_us', 0):g}us, "
+          f"{ts.get('dropped_epochs', 0)} epochs aged out of the ring)")
+    print(f"scale: ' '=0 .. '@'={peak:g}")
+    for line in lines:
+        print(line)
+    if dropped > 0:
+        print(f"({dropped} quieter queues not shown; raise --top)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,9 +9,10 @@ void cp_queue::enqueue_arrival(packet& p) {
     if (data_bytes_ + p.size_bytes > capacity_) {
       // CP: always trim the arriving data packet; the header joins the same
       // FIFO with no priority treatment.
+      const std::uint64_t removed = p.size_bytes - kHeaderBytes;
       ndp_queue::trim_packet(p);
       p.priority = 0;  // CP has no priority queue
-      count_trim();
+      count_trim(removed);
     }
   }
   if (p.is_header_class()) {

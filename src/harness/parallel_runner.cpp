@@ -23,6 +23,7 @@ void run_one(const experiment_config& cfg, const experiment_fn& body,
   const auto t1 = std::chrono::steady_clock::now();
   out.config = cfg;
   out.fcts = std::move(fcts);
+  out.telemetry = std::move(env.telemetry);  // outlive the per-job env
   out.events_processed = env.events.events_processed();
   out.sim_end = env.events.now();
   out.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
@@ -76,6 +77,20 @@ std::vector<experiment_outcome> parallel_runner::run(
 fct_recorder merge_fcts(const std::vector<experiment_outcome>& outcomes) {
   fct_recorder merged;
   for (const auto& o : outcomes) merged.merge_from(o.fcts);
+  return merged;
+}
+
+std::shared_ptr<telemetry_plane> merge_telemetry(
+    const std::vector<experiment_outcome>& outcomes) {
+  std::shared_ptr<telemetry_plane> merged;
+  for (const auto& o : outcomes) {
+    if (o.telemetry == nullptr) continue;
+    if (merged == nullptr) {
+      merged = std::make_shared<telemetry_plane>(*o.telemetry);
+    } else {
+      merged->merge_from(*o.telemetry);
+    }
+  }
   return merged;
 }
 

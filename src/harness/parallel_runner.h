@@ -15,7 +15,10 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "net/sim_env.h"
+#include "sim/telemetry.h"
 #include "stats/fct_recorder.h"
 
 namespace ndpsim {
@@ -36,6 +39,9 @@ struct experiment_outcome {
   simtime_t sim_end = 0;         ///< simulated time the run finished at
   double wall_seconds = 0;
   double events_per_sec = 0;
+  /// The job's telemetry plane, if the body attached one to its env
+  /// (salvaged before the per-job env dies).  Null when telemetry was off.
+  std::shared_ptr<telemetry_plane> telemetry;
 };
 
 /// The body of an experiment: build everything from `env` (already seeded
@@ -64,6 +70,16 @@ class parallel_runner {
 /// All completed flows of a sweep folded into one recorder (outcome order,
 /// which is config order — deterministic).
 [[nodiscard]] fct_recorder merge_fcts(
+    const std::vector<experiment_outcome>& outcomes);
+
+/// Per-job telemetry planes folded into one by counter summation (outcome
+/// order; jobs without a plane are skipped).  All planes present must share
+/// one slot layout — true whenever the sweep's jobs instantiate the same
+/// blueprint.  Returns null when no job carried telemetry.  Because each
+/// job is a pure function of its config, the merged plane is bitwise
+/// identical however the sweep was scheduled (asserted by
+/// tests/test_telemetry.cpp).
+[[nodiscard]] std::shared_ptr<telemetry_plane> merge_telemetry(
     const std::vector<experiment_outcome>& outcomes);
 
 }  // namespace ndpsim

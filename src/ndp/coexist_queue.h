@@ -52,6 +52,17 @@ class coexist_queue final : public queue_base {
     return p.type == packet_type::tcp_data || p.type == packet_type::tcp_ack;
   }
 
+  /// The composite and both children share one telemetry slot: the port's
+  /// enq/deq are counted by the composite's receive/service path (the
+  /// children never get the wire), while drops, trims and ECN marks happen
+  /// inside the children's admission hooks — all land in the same counters,
+  /// so the port satisfies the queue conservation law as a whole.
+  void set_telemetry(telemetry_slot t) override {
+    queue_base::set_telemetry(t);
+    ndp_side_->set_telemetry(t);
+    tcp_side_->set_telemetry(t);
+  }
+
  protected:
   void enqueue_arrival(packet& p) override;
   [[nodiscard]] packet* dequeue_next() override;

@@ -31,8 +31,9 @@ void ndp_queue::enqueue_arrival(packet& p) {
     data_bytes_ -= victim->size_bytes;
     admit_data(p);
   }
+  const std::uint64_t removed = victim->size_bytes - kHeaderBytes;
   trim_packet(*victim);
-  count_trim();
+  count_trim(removed);
   admit_header(*victim);
 }
 
@@ -77,7 +78,7 @@ void ndp_queue::bounce_or_drop(packet& p) {
   p.next_hop = static_cast<std::uint32_t>(rev_element);
   std::swap(p.src, p.dst);
   p.set_flag(pkt_flag::bounced);
-  count_bounce();
+  count_bounce(p);
   send_to_next_hop(p);
 }
 

@@ -30,8 +30,9 @@ void p4_ndp_pipeline::enqueue_arrival(packet& p) {
     return;
   }
   ++hits_.setprio_truncate;
+  const std::uint64_t removed = p.size_bytes - kHeaderBytes;
   ndp_queue::trim_packet(p);  // P4 primitive action `truncate`
-  count_trim();
+  count_trim(removed);
   to_priority(p);
 }
 

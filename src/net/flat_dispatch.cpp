@@ -92,7 +92,7 @@ inline void prefetch_terminal_bucket(const packet& p) {
 
 }  // namespace
 
-void pipe::dispatch_run(event_source* const* /*srcs*/,
+void pipe::dispatch_run(event_source* const* srcs,
                         const std::uint64_t* payloads, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     if (i + 6 < n) {
@@ -119,7 +119,9 @@ void pipe::dispatch_run(event_source* const* /*srcs*/,
     if (i + 1 < n) {
       prefetch_terminal_bucket(*reinterpret_cast<const packet*>(payloads[i + 1]));
     }
-    send_to_next_hop(*reinterpret_cast<packet*>(payloads[i]));
+    packet& p = *reinterpret_cast<packet*>(payloads[i]);
+    static_cast<pipe*>(srcs[i])->tele_deliver(p);
+    send_to_next_hop(p);
   }
 }
 

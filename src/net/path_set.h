@@ -15,6 +15,7 @@
 
 #include "net/packet.h"
 #include "net/route.h"
+#include "sim/telemetry.h"
 
 namespace ndpsim {
 
@@ -124,16 +125,32 @@ class flow_demux final : public packet_sink {
   void set_stale_pool(packet_pool* pool) { stale_pool_ = pool; }
   [[nodiscard]] std::uint64_t stale_drops() const { return stale_drops_; }
 
+  /// Arm (or disarm) this demux's telemetry slot: enq = terminal
+  /// deliveries, deq = packets handed to a bound endpoint, stale_drops =
+  /// deliveries for unbound (recycled) flows.
+  void set_telemetry(telemetry_slot t) {
+    tele_ = t.hot;
+    tele_rare_ = t.rare;
+  }
+  /// Combined snapshot of this demux's slot (all-zero when unarmed).
+  [[nodiscard]] telemetry_counters telemetry() const {
+    return combine_telemetry(tele_, tele_rare_);
+  }
+  [[nodiscard]] bool telemetry_armed() const { return tele_ != nullptr; }
+
   void receive(packet& p) override {
+    NDPSIM_TELE(++tele_->enq_pkts; tele_->enq_bytes += p.size_bytes);
     packet_sink* ep = endpoint_for(p.flow_id);
     if (ep == nullptr) {
       NDPSIM_ASSERT_MSG(stale_pool_ != nullptr,
                         "no endpoint bound for flow " << p.flow_id
                                                       << " at host demux");
       ++stale_drops_;
+      NDPSIM_TELE(++tele_rare_->stale_drops);
       stale_pool_->release(&p);
       return;
     }
+    NDPSIM_TELE(++tele_->deq_pkts; tele_->deq_bytes += p.size_bytes);
     ep->receive(p);
   }
 
@@ -171,6 +188,8 @@ class flow_demux final : public packet_sink {
   std::size_t bound_ = 0;
   packet_pool* stale_pool_ = nullptr;  ///< non-null = drop unbound deliveries
   std::uint64_t stale_drops_ = 0;
+  telemetry_hot_counters* tele_ = nullptr;  ///< armed slot; nullptr = off
+  telemetry_rare_counters* tele_rare_ = nullptr;  ///< armed with tele_
 };
 
 /// Borrowed view of a multipath route set: forward/reverse route arrays

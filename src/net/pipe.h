@@ -8,8 +8,9 @@
 // batch handler call per same-time run — instead of a per-pipe ring plus a
 // rescheduled head timer.  The pipe object holds no in-flight state at all;
 // delivery needs only the lane entry's payload (the packet pointer), so the
-// flat handler never touches pipe memory.  All pipes sharing one delay
-// share one lane.
+// flat handler touches pipe memory only for the telemetry slot pointer (a
+// never-taken branch while unarmed; compiled out entirely with
+// NDPSIM_TELEMETRY_DISABLED).  All pipes sharing one delay share one lane.
 #pragma once
 
 #include <utility>
@@ -18,6 +19,7 @@
 #include "net/route.h"
 #include "net/sim_env.h"
 #include "sim/eventlist.h"
+#include "sim/telemetry.h"
 
 namespace ndpsim {
 
@@ -40,6 +42,7 @@ class pipe final : public packet_sink, public event_source {
   [[nodiscard]] simtime_t delay() const { return delay_; }
 
   void receive(packet& p) override {
+    NDPSIM_TELE(++tele_->enq_pkts; tele_->enq_bytes += p.size_bytes);
     events().schedule_lane(lane_, *this, events().now() + delay_,
                            reinterpret_cast<std::uint64_t>(&p));
   }
@@ -50,7 +53,9 @@ class pipe final : public packet_sink, public event_source {
   }
 
   void do_lane_event(std::uint64_t payload) override {
-    send_to_next_hop(*reinterpret_cast<packet*>(payload));
+    packet& p = *reinterpret_cast<packet*>(payload);
+    tele_deliver(p);
+    send_to_next_hop(p);
   }
 
   /// Flat batch handler for dispatch_class::pipe_expiry (registered by
@@ -64,9 +69,25 @@ class pipe final : public packet_sink, public event_source {
   static void dispatch_run(event_source* const* srcs,
                            const std::uint64_t* payloads, std::size_t n);
 
+  /// Arm (or disarm) this pipe's telemetry slot.  A pipe never drops,
+  /// trims or marks, so only the hot half is kept.
+  void set_telemetry(telemetry_slot t) { tele_ = t.hot; }
+  /// Combined snapshot of this pipe's slot (all-zero when unarmed).
+  [[nodiscard]] telemetry_counters telemetry() const {
+    return combine_telemetry(tele_, nullptr);
+  }
+
  private:
+  /// Far-end delivery counting, shared by the per-entry lane path and the
+  /// flat batch handler (a static member, so it reaches this directly).
+  void tele_deliver(const packet& p) {
+    NDPSIM_TELE(++tele_->deq_pkts; tele_->deq_bytes += p.size_bytes);
+    (void)p;
+  }
+
   simtime_t delay_;
   std::uint32_t lane_;
+  telemetry_hot_counters* tele_ = nullptr;  ///< armed slot; nullptr = off
 };
 
 }  // namespace ndpsim

@@ -30,6 +30,7 @@
 #include "net/route.h"
 #include "net/sim_env.h"
 #include "sim/eventlist.h"
+#include "sim/telemetry.h"
 
 namespace ndpsim {
 
@@ -79,6 +80,7 @@ class queue_base : public packet_sink, public event_source {
 
   void receive(packet& p) final {
     ++stats_.arrivals;
+    NDPSIM_TELE(++tele_->enq_pkts; tele_->enq_bytes += p.size_bytes);
     enqueue_arrival(p);
     try_start_service();
   }
@@ -117,6 +119,25 @@ class queue_base : public packet_sink, public event_source {
   /// Bytes currently buffered (excluding the packet being serialized).
   [[nodiscard]] virtual std::uint64_t buffered_bytes() const = 0;
   [[nodiscard]] virtual std::size_t buffered_packets() const = 0;
+  /// Size of the packet on the wire right now (0 when idle) — together with
+  /// buffered_bytes this is the queue's resident byte count, the term the
+  /// telemetry conservation law needs.
+  [[nodiscard]] std::uint64_t serving_bytes() const {
+    return serving_ != nullptr ? serving_->size_bytes : 0;
+  }
+
+  /// Arm (or disarm with a null slot) this queue's telemetry slot.  Virtual
+  /// so composite ports (coexist_queue) can share the slot with the child
+  /// queues whose admission/drop hooks do the actual counting.
+  virtual void set_telemetry(telemetry_slot t) {
+    tele_ = t.hot;
+    tele_rare_ = t.rare;
+  }
+  /// Combined snapshot of this queue's slot (all-zero when unarmed).
+  [[nodiscard]] telemetry_counters telemetry() const {
+    return combine_telemetry(tele_, tele_rare_);
+  }
+  [[nodiscard]] bool telemetry_armed() const { return tele_ != nullptr; }
 
  protected:
   /// Admit/drop/trim/mark the arriving packet; must either buffer it or
@@ -163,13 +184,34 @@ class queue_base : public packet_sink, public event_source {
 
   void drop(packet& p) {
     ++stats_.dropped;
+    NDPSIM_TELE(++tele_rare_->drop_pkts; tele_rare_->drop_bytes +=
+                                         p.size_bytes);
     env_.pool.release(&p);
   }
-  void count_trim() { ++stats_.trimmed; }
-  void count_bounce() { ++stats_.bounced; }
-  void count_mark() { ++stats_.marked; }
+  /// `removed_bytes` is the payload cut away by the in-place truncation
+  /// (old size - kHeaderBytes): the trimmed packet stays resident at header
+  /// size, so this is the only record of the bytes that left the queue here.
+  void count_trim(std::uint64_t removed_bytes) {
+    ++stats_.trimmed;
+    NDPSIM_TELE(++tele_rare_->trim_pkts; tele_rare_->trim_bytes +=
+                                         removed_bytes);
+    (void)removed_bytes;
+  }
+  /// `p` is leaving sideways onto the reverse route (return-to-sender).
+  void count_bounce(const packet& p) {
+    ++stats_.bounced;
+    NDPSIM_TELE(++tele_rare_->bounce_pkts; tele_rare_->bounce_bytes +=
+                                           p.size_bytes);
+    (void)p;
+  }
+  void count_mark() {
+    ++stats_.marked;
+    NDPSIM_TELE(++tele_rare_->mark_pkts);
+  }
 
   sim_env& env_;
+  telemetry_hot_counters* tele_ = nullptr;  ///< armed slot; nullptr = off
+  telemetry_rare_counters* tele_rare_ = nullptr;  ///< armed with tele_
 
  private:
   // Ring-front prefetch stages for dispatch_run: first the slot the next
@@ -185,6 +227,7 @@ class queue_base : public packet_sink, public event_source {
     serving_ = nullptr;
     ++stats_.forwarded;
     stats_.bytes_forwarded += p->size_bytes;
+    NDPSIM_TELE(++tele_->deq_pkts; tele_->deq_bytes += p->size_bytes);
     if (on_depart_) on_depart_(*p);
     send_to_next_hop(*p);
     try_start_service();

@@ -3,12 +3,15 @@
 // so nothing in the library is a global.
 #pragma once
 
+#include <memory>
 #include <random>
 
 #include "net/packet.h"
 #include "sim/eventlist.h"
 
 namespace ndpsim {
+
+class telemetry_plane;
 
 /// Defined in net/flat_dispatch.cpp: registers the pipe/queue batch
 /// handlers on a fresh event list.
@@ -22,6 +25,14 @@ struct sim_env {
   event_list events;
   std::mt19937_64 rng;
   packet_pool pool;
+
+  /// Optional telemetry plane for this simulation.  Attach BEFORE building
+  /// the fabric: registration happens at component construction (queues,
+  /// pipes) and at demux mount time, and components built while this is
+  /// null simply stay unarmed — the sim_env-level "off" of the zero-cost
+  /// contract (see sim/telemetry.h).  shared_ptr so a `parallel_runner`
+  /// job's plane outlives its env on the experiment outcome.
+  std::shared_ptr<telemetry_plane> telemetry;
 
   [[nodiscard]] simtime_t now() const { return events.now(); }
 

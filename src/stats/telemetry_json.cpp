@@ -1,0 +1,196 @@
+#include "stats/telemetry_json.h"
+
+#include <cinttypes>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace ndpsim {
+
+namespace {
+
+// Slot names come from the blueprint's name pool ("aggup3.1.2.pipe",
+// "demux17") or the "slotN" fallback — no characters that need JSON
+// escaping, asserted here so a future name scheme cannot silently corrupt
+// the document.
+void write_name(std::FILE* f, const std::string& name) {
+  for (const char c : name) {
+    NDPSIM_ASSERT_MSG(c != '"' && c != '\\' && c >= 0x20,
+                      "telemetry slot name needs JSON escaping: " << name);
+  }
+  std::fprintf(f, "\"%s\"", name.c_str());
+}
+
+void write_u64_array(std::FILE* f, const char* key,
+                     const std::vector<std::uint64_t>& v) {
+  std::fprintf(f, "\"%s\": [", key);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::fprintf(f, "%s%" PRIu64, i > 0 ? ", " : "", v[i]);
+  }
+  std::fprintf(f, "]");
+}
+
+void write_f64_array(std::FILE* f, const char* key,
+                     const std::vector<double>& v) {
+  std::fprintf(f, "\"%s\": [", key);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    std::fprintf(f, "%s%.6f", i > 0 ? ", " : "", v[i]);
+  }
+  std::fprintf(f, "]");
+}
+
+/// Resident packets implied by a slot's cumulative counters (the
+/// conservation-law identity, rearranged): what entered minus every way out.
+[[nodiscard]] std::uint64_t resident_pkts(const telemetry_counters& c) {
+  const std::uint64_t out = c.deq_pkts + c.drop_pkts + c.bounce_pkts;
+  return c.enq_pkts >= out ? c.enq_pkts - out : 0;
+}
+
+[[nodiscard]] std::uint64_t resident_bytes(const telemetry_counters& c) {
+  const std::uint64_t out =
+      c.deq_bytes + c.drop_bytes + c.bounce_bytes + c.trim_bytes;
+  return c.enq_bytes >= out ? c.enq_bytes - out : 0;
+}
+
+}  // namespace
+
+void write_telemetry_summary(std::FILE* f, const telemetry_plane& plane) {
+  std::fprintf(f, "{\"slots\": [");
+  bool first = true;
+  for (std::uint32_t slot = 0; slot < plane.n_slots(); ++slot) {
+    const telemetry_plane::slot_info& info = plane.info(slot);
+    const telemetry_counters c = plane.counters(slot);
+    if (!info.armed || c.idle()) continue;
+    std::fprintf(f, "%s\n    {\"slot\": %u, \"name\": ", first ? "" : ",",
+                 slot);
+    write_name(f, plane.slot_name(slot));
+    std::fprintf(
+        f,
+        ", \"kind\": \"%s\", \"level\": %u, \"rate_bps\": %" PRIu64
+        ", \"enq_pkts\": %" PRIu64 ", \"deq_pkts\": %" PRIu64
+        ", \"drop_pkts\": %" PRIu64 ", \"trim_pkts\": %" PRIu64
+        ", \"bounce_pkts\": %" PRIu64 ", \"mark_pkts\": %" PRIu64
+        ", \"stale_drops\": %" PRIu64 ", \"enq_bytes\": %" PRIu64
+        ", \"deq_bytes\": %" PRIu64 ", \"drop_bytes\": %" PRIu64
+        ", \"trim_bytes\": %" PRIu64 ", \"bounce_bytes\": %" PRIu64 "}",
+        to_string(info.kind), info.level, info.rate_bps, c.enq_pkts,
+        c.deq_pkts, c.drop_pkts, c.trim_pkts, c.bounce_pkts, c.mark_pkts,
+        c.stale_drops, c.enq_bytes, c.deq_bytes, c.drop_bytes, c.trim_bytes,
+        c.bounce_bytes);
+    first = false;
+  }
+  std::fprintf(f, "%s]}", first ? "" : "\n  ");
+}
+
+void write_telemetry_timeseries(std::FILE* f,
+                                const telemetry_collector& collector) {
+  const telemetry_plane& plane = collector.plane();
+  const std::size_t n_epochs = collector.n_epochs();
+  std::fprintf(f, "{\"epoch_us\": %.3f, \"dropped_epochs\": %" PRIu64 ",\n",
+               to_us(collector.epoch()), collector.dropped_epochs());
+  std::fprintf(f, "  \"epochs_us\": [");
+  for (std::size_t e = 0; e < n_epochs; ++e) {
+    std::fprintf(f, "%s%.3f", e > 0 ? ", " : "",
+                 to_us(collector.epoch_at(e).at));
+  }
+  std::fprintf(f, "],\n");
+
+  // Queue series: depth sampled at each interval end, plus per-interval
+  // drop/trim/mark deltas and utilization (bytes put on the wire over what
+  // the link could have carried in the interval).
+  std::fprintf(f, "  \"queues\": [");
+  bool first = true;
+  for (std::uint32_t slot = 0; slot < plane.n_slots(); ++slot) {
+    const telemetry_plane::slot_info& info = plane.info(slot);
+    if (!info.armed || info.kind != telemetry_kind::queue) continue;
+    if (n_epochs == 0 ||
+        collector.epoch_at(n_epochs - 1).counters(slot).idle()) {
+      continue;
+    }
+    std::vector<std::uint64_t> depth_pkts, depth_bytes, drops, trims, marks;
+    std::vector<double> utilization;
+    for (std::size_t e = 1; e < n_epochs; ++e) {
+      const auto& prev = collector.epoch_at(e - 1);
+      const auto& cur = collector.epoch_at(e);
+      const telemetry_counters a = prev.counters(slot);
+      const telemetry_counters b = cur.counters(slot);
+      depth_pkts.push_back(resident_pkts(b));
+      depth_bytes.push_back(resident_bytes(b));
+      drops.push_back(b.drop_pkts - a.drop_pkts);
+      trims.push_back(b.trim_pkts - a.trim_pkts);
+      marks.push_back(b.mark_pkts - a.mark_pkts);
+      const double dt = to_sec(cur.at - prev.at);
+      const double capacity =
+          dt * static_cast<double>(info.rate_bps) / 8.0;  // bytes
+      utilization.push_back(
+          capacity > 0
+              ? static_cast<double>(b.deq_bytes - a.deq_bytes) / capacity
+              : 0.0);
+    }
+    std::fprintf(f, "%s\n    {\"slot\": %u, \"name\": ", first ? "" : ",",
+                 slot);
+    write_name(f, plane.slot_name(slot));
+    std::fprintf(f, ", \"level\": %u, \"rate_bps\": %" PRIu64 ",\n     ",
+                 info.level, info.rate_bps);
+    write_u64_array(f, "depth_pkts", depth_pkts);
+    std::fprintf(f, ",\n     ");
+    write_u64_array(f, "depth_bytes", depth_bytes);
+    std::fprintf(f, ",\n     ");
+    write_f64_array(f, "utilization", utilization);
+    std::fprintf(f, ",\n     ");
+    write_u64_array(f, "drops", drops);
+    std::fprintf(f, ", ");
+    write_u64_array(f, "trims", trims);
+    std::fprintf(f, ", ");
+    write_u64_array(f, "marks", marks);
+    std::fprintf(f, "}");
+    first = false;
+  }
+  std::fprintf(f, "%s],\n", first ? "" : "\n  ");
+
+  // Demux series: per-interval delivered / stale-drop deltas.
+  std::fprintf(f, "  \"demuxes\": [");
+  first = true;
+  for (std::uint32_t slot = 0; slot < plane.n_slots(); ++slot) {
+    const telemetry_plane::slot_info& info = plane.info(slot);
+    if (!info.armed || info.kind != telemetry_kind::demux) continue;
+    if (n_epochs == 0 ||
+        collector.epoch_at(n_epochs - 1).counters(slot).idle()) {
+      continue;
+    }
+    std::vector<std::uint64_t> delivered, stale;
+    for (std::size_t e = 1; e < n_epochs; ++e) {
+      const telemetry_counters a = collector.epoch_at(e - 1).counters(slot);
+      const telemetry_counters b = collector.epoch_at(e).counters(slot);
+      delivered.push_back(b.deq_pkts - a.deq_pkts);
+      stale.push_back(b.stale_drops - a.stale_drops);
+    }
+    std::fprintf(f, "%s\n    {\"slot\": %u, \"name\": ", first ? "" : ",",
+                 slot);
+    write_name(f, plane.slot_name(slot));
+    std::fprintf(f, ", ");
+    write_u64_array(f, "delivered", delivered);
+    std::fprintf(f, ", ");
+    write_u64_array(f, "stale_drops", stale);
+    std::fprintf(f, "}");
+    first = false;
+  }
+  std::fprintf(f, "%s]}", first ? "" : "\n  ");
+}
+
+bool write_telemetry_json(const char* path, const telemetry_plane& plane,
+                          const telemetry_collector* collector) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"summary\": ");
+  write_telemetry_summary(f, plane);
+  if (collector != nullptr) {
+    std::fprintf(f, ",\n  \"timeseries\": ");
+    write_telemetry_timeseries(f, *collector);
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace ndpsim

@@ -1,0 +1,52 @@
+// JSON emission for the telemetry plane: an end-of-run per-slot summary and
+// an epoch time-series with *derived* metrics — queue depth (for heatmaps),
+// link utilization, ECN-mark / trim / drop and demux stale-drop rates — all
+// computed from cumulative-counter deltas between collector epochs, never
+// from live component state.
+//
+// Output contract (consumed by scripts/telemetry_heatmap.py and the README
+// example):
+//   {
+//     "summary": {"slots": [ {slot, name, kind, level, rate_bps,
+//                             enq_pkts, deq_pkts, drop_pkts, trim_pkts,
+//                             bounce_pkts, mark_pkts, stale_drops,
+//                             enq_bytes, deq_bytes, drop_bytes, trim_bytes,
+//                             bounce_bytes}... ]},
+//     "timeseries": {"epoch_us", "dropped_epochs", "epochs_us": [...],
+//                    "queues":  [ {slot, name, level, rate_bps,
+//                                  depth_pkts: [...], depth_bytes: [...],
+//                                  utilization: [...], drops: [...],
+//                                  trims: [...], marks: [...]} ... ],
+//                    "demuxes": [ {slot, name, delivered: [...],
+//                                  stale_drops: [...]} ... ]}
+//   }
+// Idle slots (no packet ever counted) are omitted from both sections so a
+// k=32 fabric with a localized workload doesn't emit 100k empty series.
+// Per-epoch arrays have one entry per *interval* (epoch i covers
+// (epochs_us[i-1], epochs_us[i]]); depth series are sampled at interval end.
+//
+// Like bench_eventcore, emission is hand-formatted fprintf — no JSON
+// library dependency, and the writers take a FILE* so callers can embed the
+// sections in a larger document.
+#pragma once
+
+#include <cstdio>
+
+#include "sim/telemetry.h"
+
+namespace ndpsim {
+
+/// Write the `{"slots": [...]}` end-of-run summary object.
+void write_telemetry_summary(std::FILE* f, const telemetry_plane& plane);
+
+/// Write the derived time-series object from a collector's epoch ring.
+void write_telemetry_timeseries(std::FILE* f,
+                                const telemetry_collector& collector);
+
+/// Whole-document convenience: {"summary": ..., "timeseries": ...} (the
+/// timeseries key is omitted when `collector` is null).  Returns false when
+/// the file cannot be written.
+bool write_telemetry_json(const char* path, const telemetry_plane& plane,
+                          const telemetry_collector* collector);
+
+}  // namespace ndpsim

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/path_set.h"
+#include "sim/telemetry.h"
 
 namespace ndpsim {
 
@@ -18,6 +19,12 @@ fabric_instance::fabric_instance(sim_env& env,
   by_level_.resize(6);
   for (auto& lvl : by_level_) lvl.reserve(links.size() / 6 + 1);
 
+  // Slot-keyed telemetry registration: when the env carries a plane (armed
+  // BEFORE instantiation — the sim_env contract), every queue and pipe gets
+  // the counter block of its own blueprint slot.  Demux slots arm lazily in
+  // bind_demux_slot as the path table mounts them.  PFC ingress slots stay
+  // unarmed: they forward without buffering decisions of their own.
+  telemetry_plane* const tp = env_.telemetry.get();
   for (std::uint32_t id = 0; id < links.size(); ++id) {
     const auto& l = links[id];
     auto q = make_queue(l.level, l.index, l.rate, name_ref(*bp_, l.first_slot));
@@ -25,6 +32,13 @@ fabric_instance::fabric_instance(sim_env& env,
     pipes_.emplace_back(env_, l.delay, name_ref(*bp_, l.first_slot + 1));
     sinks_[l.first_slot] = q.get();
     sinks_[l.first_slot + 1] = &pipes_.back();
+    if (tp != nullptr) {
+      q->set_telemetry(tp->arm(l.first_slot, telemetry_kind::queue,
+                               static_cast<std::uint8_t>(l.level), l.rate));
+      pipes_.back().set_telemetry(
+          tp->arm(l.first_slot + 1, telemetry_kind::pipe,
+                  static_cast<std::uint8_t>(l.level), l.rate));
+    }
     if (pfc.enabled) {
       q->set_depart_hook(&pfc_ingress::credit_on_depart);
     }
@@ -78,6 +92,13 @@ route_pair fabric_instance::make_route_pair(std::uint32_t src,
 
 void fabric_instance::bind_demux_slot(std::uint32_t host, flow_demux* d) {
   sinks_[bp_->demux_slot(host)] = d;
+  // Demuxes mount lazily (first connect touching the host), possibly after
+  // the run started; arming a pre-sized slot never moves the counter array,
+  // so this is safe mid-simulation.
+  if (env_.telemetry != nullptr) {
+    d->set_telemetry(
+        env_.telemetry->arm(bp_->demux_slot(host), telemetry_kind::demux));
+  }
 }
 
 queue_stats fabric_instance::aggregate_stats(link_level level) const {

@@ -37,10 +37,38 @@ struct workload_result {
   std::uint64_t flat_events = 0;
 };
 
-workload_result run_workload(protocol proto, bool flat) {
+// Telemetry axis for the identity runs: `plane` arms every component's
+// counter slot (hot-path increments live), `collector` additionally runs the
+// epoch sampler with its heap timer.  Both must be invisible in the FCT
+// records; `plane` must be invisible in the event count too (counting
+// schedules nothing — the collector's own timer events are the one allowed
+// difference in `collector` mode).
+enum class tele_mode { off, plane, collector };
+
+workload_result run_workload(protocol proto, bool flat,
+                             tele_mode tele = tele_mode::off) {
   fabric_params fp;
   fp.proto = proto;
-  auto bed = make_fat_tree_testbed(7, 4, fp);
+  sim_env env(7);
+  std::shared_ptr<const fabric_blueprint> bp;
+  std::unique_ptr<testbed> bed;
+  if (tele != tele_mode::off) {
+    // The plane must be attached before the fabric is stamped out; sizing it
+    // needs the blueprint, so telemetry runs use the shared-blueprint testbed
+    // (bitwise-identical to the private build — test_fabric_blueprint pins
+    // that, and the identity assertions below re-verify it transitively).
+    bp = make_fat_tree_blueprint(4, fp);
+    env.telemetry = std::make_shared<telemetry_plane>(bp->n_slots(), bp.get());
+    bed = std::make_unique<testbed>(env, bp, fp);
+  } else {
+    bed = make_fat_tree_testbed(7, 4, fp);
+  }
+  std::unique_ptr<telemetry_collector> col;
+  if (tele == tele_mode::collector) {
+    col = std::make_unique<telemetry_collector>(bed->env.events,
+                                                *bed->env.telemetry, from_us(20));
+    col->start();
+  }
   bed->env.events.set_flat_dispatch(flat);
   const auto matrix = permutation_matrix(bed->env.rng, bed->topo->n_hosts());
   std::vector<flow*> flows;
@@ -52,6 +80,10 @@ workload_result run_workload(protocol proto, bool flat) {
     flows.push_back(&bed->flows->create(proto, h, matrix[h], fo));
   }
   run_until_complete(bed->env, flows, from_ms(500));
+  if (col != nullptr) {
+    col->finish();
+    EXPECT_GT(col->n_epochs(), 1u);  // the sampler actually ran
+  }
   workload_result out;
   for (const flow* f : flows) {
     out.records.push_back(flow_record{f->id, f->src, f->dst, f->start_time,
@@ -80,6 +112,26 @@ TEST_P(flat_dispatch_identity, fcts_bitwise_equal_to_virtual_dispatch) {
   for (std::size_t i = 0; i < virt.records.size(); ++i) {
     EXPECT_EQ(virt.records[i], flat.records[i]) << "flow index " << i;
     EXPECT_TRUE(flat.records[i].complete) << "flow index " << i;
+  }
+}
+
+// Telemetry must be observational only: armed counters (and the collector's
+// sampling timer) may not move a single FCT bit on any transport.  With just
+// the plane armed the event *count* must match too — hot-path counting
+// schedules nothing; collector mode adds exactly its own timer events, so
+// there only the records are compared.
+TEST_P(flat_dispatch_identity, telemetry_on_off_fcts_bitwise_equal) {
+  const workload_result off = run_workload(GetParam(), true, tele_mode::off);
+  const workload_result armed = run_workload(GetParam(), true, tele_mode::plane);
+  const workload_result sampled =
+      run_workload(GetParam(), true, tele_mode::collector);
+
+  EXPECT_EQ(off.events, armed.events);
+  ASSERT_EQ(off.records.size(), armed.records.size());
+  ASSERT_EQ(off.records.size(), sampled.records.size());
+  for (std::size_t i = 0; i < off.records.size(); ++i) {
+    EXPECT_EQ(off.records[i], armed.records[i]) << "flow index " << i;
+    EXPECT_EQ(off.records[i], sampled.records[i]) << "flow index " << i;
   }
 }
 
