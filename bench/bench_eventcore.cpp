@@ -22,18 +22,27 @@
 //  5. Parallel sweep — the same incast at several seeds, run serially and
 //     through parallel_runner, checking bitwise-identical per-config FCT
 //     results and reporting the wall-clock ratio.
+//  6. Campaign engine — the sweep scaled to hundreds of jobs through
+//     campaign_runner: jobs/sec of the streaming spill path, live RSS at
+//     half vs full campaign length (bounded-memory claim) vs the
+//     keep-every-outcome baseline, and the interrupted-resume merged
+//     result's byte-identity with the uninterrupted run's.
 //
 // `--quick` reduces repetition counts (best-of rounds) for CI smoke runs
 // while keeping every measured workload identical, so reported rates stay
 // comparable with full runs.  All gated rates are computed over process CPU
 // time, not wall-clock — the simulator is single-threaded and CPU time is
 // what reproduces on shared machines.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <filesystem>
+#include <fstream>
 #include <functional>
+#include <iterator>
 #include <memory>
 #include <queue>
 #include <string>
@@ -43,7 +52,11 @@
 #include <sys/resource.h>
 #include <unistd.h>
 #endif
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
 
+#include "harness/campaign_runner.h"
 #include "harness/experiments.h"
 #include "harness/flow_recycler.h"
 #include "harness/parallel_runner.h"
@@ -703,6 +716,151 @@ void incast_body(const experiment_config& cfg, sim_env& env,
     if (bp == nullptr) b += bed->topo->blueprint()->resident_bytes();
     fabric_bytes->fetch_add(b, std::memory_order_relaxed);
   }
+}
+
+// --------------------------------------------------------------------------
+// Section 5b: campaign engine — long sweeps in bounded memory.
+// --------------------------------------------------------------------------
+
+/// Return free heap pages to the kernel so a current_rss_bytes() reading
+/// approximates LIVE bytes.  Without this the campaign comparison below is
+/// blind: the flow-churn section has already grown the allocator arena, and
+/// every campaign phase would be served from its free lists without moving
+/// RSS at all.  No-op off glibc (the readings get noisier, the gates keep
+/// their slack).
+void trim_heap() {
+#if defined(__GLIBC__)
+  malloc_trim(0);
+#endif
+}
+
+std::size_t trimmed_rss_bytes() {
+  trim_heap();
+  return current_rss_bytes();
+}
+
+/// Campaign section result: streaming throughput, RSS under three retention
+/// policies, and the resume-identity flag (the campaign engine's contract).
+struct campaign_bench_result {
+  std::size_t jobs = 0;
+  double stream_cpu_sec = 0;
+  std::uint64_t flows = 0;          ///< completed flows across the full sweep
+  std::size_t rss_half = 0;         ///< live RSS after an N/2-job campaign
+  std::size_t rss_stream = 0;       ///< live RSS after the full N-job campaign
+  std::size_t rss_keepall = 0;      ///< live RSS with all N outcomes held
+  bool flows_match = false;         ///< streaming and keep-all agree on flows
+  bool resume_identical = false;    ///< interrupted+resumed == uninterrupted
+  bool rss_flat = false;            ///< doubling campaign length ~= free
+  double jobs_per_sec() const {
+    return stream_cpu_sec > 0 ? static_cast<double>(jobs) / stream_cpu_sec
+                              : 0;
+  }
+};
+
+/// The campaign engine bench: the parallel-sweep incast body scaled from 4
+/// configs to hundreds, run three ways.  (1) streaming through
+/// campaign_runner at half and full length — the bounded-memory claim is
+/// that RSS tracks ACTIVE jobs, not campaign length, so the two runs must
+/// land at about the same live RSS; (2) the keep-everything baseline
+/// (parallel_runner::run holding every outcome's recorder + telemetry plane
+/// live at once, the pre-campaign behaviour), which must sit strictly above
+/// the streaming high-water; (3) a fresh campaign interrupted at half the
+/// jobs and resumed from its journal, whose merged result file must be
+/// byte-identical to the uninterrupted run's.  Quick mode runs a shorter
+/// grid; per-job work is identical, so jobs/sec stays comparable.
+campaign_bench_result run_campaign_bench(bool quick) {
+  namespace fs = std::filesystem;
+  campaign_bench_result r;
+  r.jobs = quick ? 128 : 512;
+  const fs::path base = fs::temp_directory_path() / "ndpsim_bench_campaign";
+  fs::remove_all(base);
+
+  // One shared blueprint (structure resident once); a per-job telemetry
+  // plane attached before the testbed stamps out its instance — the per-job
+  // state a keep-everything sweep is stuck holding.
+  fabric_params fp;
+  fp.proto = protocol::ndp;
+  auto bp = make_fat_tree_blueprint(4, fp);
+  const auto body = [&bp](const experiment_config& cfg, sim_env& env,
+                          fct_recorder& fcts) {
+    env.telemetry =
+        std::make_shared<telemetry_plane>(bp->n_slots(), bp.get());
+    incast_body(cfg, env, fcts, &bp, nullptr);
+  };
+
+  std::vector<experiment_config> grid;
+  grid.reserve(r.jobs);
+  for (std::size_t i = 0; i < r.jobs; ++i) {
+    grid.push_back(experiment_config{
+        .name = "campaign_incast_" + std::to_string(i),
+        .seed = static_cast<std::uint64_t>(9000 + i),
+        .param = static_cast<std::int64_t>(i % 4)});
+  }
+
+  // Phase 1: streaming campaigns, half length then full length.
+  bool half_ok = false;
+  {
+    const std::vector<experiment_config> half_grid(
+        grid.begin(), grid.begin() + static_cast<std::ptrdiff_t>(r.jobs / 2));
+    campaign_config cc;
+    cc.dir = (base / "half").string();
+    const campaign_result half = campaign_runner(cc).run(half_grid, body);
+    half_ok = half.completed;
+  }
+  r.rss_half = trimmed_rss_bytes();
+
+  campaign_config full_cc;
+  full_cc.dir = (base / "full").string();
+  const double c0 = cpu_seconds_now();
+  const campaign_result full = campaign_runner(full_cc).run(grid, body);
+  r.stream_cpu_sec = cpu_seconds_now() - c0;
+  r.rss_stream = trimmed_rss_bytes();
+  for (const fct_summary& s : full.summaries) r.flows += s.flows;
+
+  // Phase 2: keep-everything baseline, measured while the outcome vector is
+  // alive (recorders + planes for every job at once).
+  std::uint64_t keepall_flows = 0;
+  {
+    const parallel_runner pool(0);
+    const std::vector<experiment_outcome> all = pool.run(grid, body);
+    r.rss_keepall = trimmed_rss_bytes();
+    for (const experiment_outcome& o : all) keepall_flows += o.fcts.completed();
+  }
+  r.flows_match = full.completed && half_ok && keepall_flows == r.flows;
+
+  // Phase 3: resume identity.  Interrupt at half the jobs (journal survives,
+  // process state dropped), resume, byte-compare the merged files.
+  campaign_config rcc;
+  rcc.dir = (base / "resume").string();
+  rcc.max_jobs = r.jobs / 2;
+  const campaign_result interrupted = campaign_runner(rcc).run(grid, body);
+  rcc.max_jobs = 0;
+  rcc.resume = true;
+  const campaign_result resumed = campaign_runner(rcc).run(grid, body);
+  const auto slurp = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  const std::string merged_full = slurp(full.merged_path);
+  const std::string merged_resumed = slurp(resumed.merged_path);
+  r.resume_identical = !interrupted.completed && resumed.completed &&
+                       resumed.jobs_skipped > 0 &&
+                       resumed.journal_rejects == 0 &&
+                       resumed.spill_rejects == 0 && !merged_full.empty() &&
+                       merged_full == merged_resumed;
+
+  // Flat = the extra RSS from doubling the campaign is small both absolutely
+  // and next to what keep-all retains (the summary map and page-granularity
+  // noise are all that may grow).
+  const std::size_t grew =
+      r.rss_stream > r.rss_half ? r.rss_stream - r.rss_half : 0;
+  const std::size_t retained =
+      r.rss_keepall > r.rss_stream ? r.rss_keepall - r.rss_stream : 0;
+  r.rss_flat = grew <= std::max<std::size_t>(8u << 20, retained / 4);
+
+  fs::remove_all(base);
+  return r;
 }
 
 figure_stats run_incast_figure() {
@@ -1383,6 +1541,43 @@ int main(int argc, char** argv) {
       static_cast<double>(cb.rss_growth) / 1e6,
       static_cast<double>(cb.rss_after) / 1e6);
 
+  // ---- Section 5b: campaign engine (streaming vs keep-all RSS, resume
+  // identity).  Runs AFTER the flow-churn section, whose recycling-vs-
+  // baseline RSS comparison our keep-all phase would otherwise poison, and
+  // BEFORE the figure runs: the campaign RSS gates compare live-heap
+  // readings a few MB apart, and taking them after the k=32 figure's
+  // ~300 MB excursion would bury the signal in allocator noise.
+  const campaign_bench_result camp = run_campaign_bench(quick);
+  std::printf(
+      "\ncampaign engine (%zu-job incast sweep, shared blueprint, "
+      "per-job telemetry plane):\n"
+      "  streaming : %.2f cpu-s  %.0f jobs/s  %llu flows   live rss %.1f MB "
+      "(half-length campaign %.1f MB — %s)\n"
+      "  keep-all  : live rss %.1f MB with every outcome held (%s streaming "
+      "high-water)\n"
+      "  resume    : interrupted at %zu jobs, resumed from journal, merged "
+      "results %s\n",
+      camp.jobs, camp.stream_cpu_sec, camp.jobs_per_sec(),
+      static_cast<unsigned long long>(camp.flows),
+      static_cast<double>(camp.rss_stream) / 1e6,
+      static_cast<double>(camp.rss_half) / 1e6,
+      camp.rss_flat ? "flat" : "NOT FLAT",
+      static_cast<double>(camp.rss_keepall) / 1e6,
+      camp.rss_keepall > camp.rss_stream ? "above" : "NOT ABOVE",
+      camp.jobs / 2,
+      camp.resume_identical ? "BYTE-IDENTICAL" : "DIVERGED");
+  if (!camp.resume_identical) {
+    std::fprintf(stderr,
+                 "FATAL: campaign resume produced a different merged result\n");
+    return 1;
+  }
+  if (!camp.flows_match) {
+    std::fprintf(stderr,
+                 "FATAL: streaming campaign and keep-all sweep disagree on "
+                 "completed flows\n");
+    return 1;
+  }
+
   // ---- Section 4: representative figure runs.  Not scaled down in quick
   // mode (each is seconds at worst): identical workloads are what keeps
   // quick-run events/sec comparable with the committed full-run values.
@@ -1725,6 +1920,20 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(pp.ops), pp.live_packets,
       static_cast<double>(pp.ops) / pp.legacy_sec,
       static_cast<double>(pp.ops) / pp.new_sec, pp.speedup());
+  std::fprintf(f, "  \"campaign\": {\n");
+  std::fprintf(f, "    \"jobs\": %zu,\n", camp.jobs);
+  std::fprintf(f, "    \"jobs_per_sec\": %.2f,\n", camp.jobs_per_sec());
+  std::fprintf(f, "    \"flows\": %llu,\n",
+               static_cast<unsigned long long>(camp.flows));
+  std::fprintf(f, "    \"rss_half_bytes\": %zu,\n", camp.rss_half);
+  std::fprintf(f, "    \"rss_stream_bytes\": %zu,\n", camp.rss_stream);
+  std::fprintf(f, "    \"rss_keepall_bytes\": %zu,\n", camp.rss_keepall);
+  std::fprintf(f, "    \"rss_below_baseline\": %s,\n",
+               camp.rss_stream < camp.rss_keepall ? "true" : "false");
+  std::fprintf(f, "    \"rss_flat\": %s,\n", camp.rss_flat ? "true" : "false");
+  std::fprintf(f, "    \"resume_identical\": %s\n",
+               camp.resume_identical ? "true" : "false");
+  std::fprintf(f, "  },\n");
   std::fprintf(f, "  \"parallel_sweep\": {\n");
   std::fprintf(f, "    \"configs\": %zu,\n", sweep.size());
   std::fprintf(f, "    \"threads\": %u,\n", pool.threads());
@@ -1783,6 +1992,16 @@ int main(int argc, char** argv) {
   if (cr.rss_after >= cb.rss_after && cb.rss_after > 0) {
     std::fprintf(stderr,
                  "WARNING: recycling peak RSS not below the baseline's\n");
+  }
+  if (camp.rss_stream >= camp.rss_keepall) {
+    std::fprintf(stderr,
+                 "WARNING: streaming campaign RSS not below the keep-all "
+                 "baseline's\n");
+  }
+  if (!camp.rss_flat) {
+    std::fprintf(stderr,
+                 "WARNING: campaign RSS grew with campaign length (not "
+                 "bounded by active jobs)\n");
   }
   if (fd.speedup() < 1.2) {
     std::fprintf(stderr,

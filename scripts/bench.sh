@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # Build Release and refresh BENCH_eventcore.json at the repo root: the
 # event-core microbenchmark (new scheduler vs embedded legacy baseline), the
-# flow-churn recycling benchmark, representative figure runs and the
-# serial-vs-parallel sweep.
+# flow-churn recycling benchmark, representative figure runs, the
+# serial-vs-parallel sweep and the campaign-engine section (streaming vs
+# keep-all RSS, resume identity).
 #
 # Usage: scripts/bench.sh [output.json]
-#   BENCH_QUICK=1  reduced iteration counts (CI smoke runs; rates stay
-#                  comparable, wall time drops)
+#   BENCH_QUICK=1  reduced iteration counts and a shorter campaign grid
+#                  (CI smoke runs; per-job work is unchanged, so rates stay
+#                  comparable while wall time drops)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"

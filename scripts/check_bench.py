@@ -22,7 +22,10 @@ bar does not depend on machine speed; it is 10% rather than tighter
 because the two sections time the identical configuration minutes apart
 and cross-section drift alone spans ~7% on a shared machine — the gate
 exists to catch an unarmed hook acquiring real cost, which shows up far
-above that).
+above that).  The campaign section (PR 9) adds three more candidate-side
+gates: resume_identical (interrupted+resumed merged results byte-identical
+to uninterrupted), streaming RSS strictly below the keep-every-outcome
+baseline, and RSS flat in campaign length.
 
 The comparison prints as a per-section table (figures, scheduler, churn,
 packet_path, ...) so an old-vs-new delta is readable section by section.
@@ -96,6 +99,11 @@ def rate_metrics(doc):
     pp = doc.get("packet_path", {})
     if "new_ops_per_sec" in pp:
         out["packet_path.new_ops_per_sec"] = pp["new_ops_per_sec"]
+    # campaign jobs/sec: quick runs use a shorter grid but identical per-job
+    # work, so the rate stays comparable with the committed full run.
+    camp = doc.get("campaign", {})
+    if "jobs_per_sec" in camp:
+        out["campaign.jobs_per_sec"] = camp["jobs_per_sec"]
     return {k: v for k, v in out.items() if isinstance(v, (int, float))}
 
 
@@ -152,6 +160,35 @@ def check_telemetry(doc):
     return failures
 
 
+def check_campaign(doc):
+    """Structural gates on the candidate's campaign section (PR 9): it must
+    exist, the interrupted-and-resumed campaign's merged result must be
+    byte-identical to the uninterrupted run's, the streaming spill path's
+    live RSS must sit strictly below the keep-every-outcome baseline's, and
+    RSS must be flat in campaign length (doubling the job count may not grow
+    it).  All three comparisons are internal to one run of one binary —
+    runner speed and absolute memory size cancel out.
+    Returns a list of failure strings (empty = pass)."""
+    camp = doc.get("campaign")
+    if camp is None:
+        return ["campaign section missing from candidate"]
+    failures = []
+    if camp.get("resume_identical") is not True:
+        failures.append("campaign.resume_identical is not true (interrupted+"
+                        "resumed merged results diverged from uninterrupted)")
+    stream = camp.get("rss_stream_bytes", 0)
+    keepall = camp.get("rss_keepall_bytes", 0)
+    if not (isinstance(stream, (int, float)) and
+            isinstance(keepall, (int, float)) and 0 < stream < keepall):
+        failures.append(
+            f"campaign streaming RSS {stream} not strictly below the "
+            f"keep-all baseline's {keepall}")
+    if camp.get("rss_flat") is not True:
+        failures.append("campaign.rss_flat is not true "
+                        "(RSS grew with campaign length)")
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("committed")
@@ -169,6 +206,7 @@ def main():
 
     structural_failures = check_flat_dispatch(candidate_doc)
     structural_failures += check_telemetry(candidate_doc)
+    structural_failures += check_campaign(candidate_doc)
     k32_rate = next(
         (fig.get("events_per_sec", 0)
          for fig in committed_doc.get("figures", [])

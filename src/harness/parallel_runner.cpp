@@ -39,15 +39,21 @@ std::vector<experiment_outcome> parallel_runner::run(
     const std::vector<experiment_config>& configs,
     const experiment_fn& body) const {
   std::vector<experiment_outcome> outcomes(configs.size());
+  // Keep-everything collection is just a streaming sink that parks each
+  // outcome in its config's slot.  Slots are disjoint per index, so the
+  // sink needs no lock.
+  run_streaming(configs, body,
+                [&outcomes](std::size_t i, experiment_outcome&& out) {
+                  outcomes[i] = std::move(out);
+                });
+  return outcomes;
+}
+
+void parallel_runner::run_streaming(
+    const std::vector<experiment_config>& configs, const experiment_fn& body,
+    const outcome_sink& sink, const std::atomic<bool>* stop) const {
   const unsigned n_workers =
       static_cast<unsigned>(std::min<std::size_t>(threads_, configs.size()));
-  if (n_workers <= 1) {
-    for (std::size_t i = 0; i < configs.size(); ++i) {
-      run_one(configs[i], body, outcomes[i]);
-    }
-    return outcomes;
-  }
-
   // Work-stealing by atomic index: threads claim the next un-run config.
   // Which thread runs a config never affects its outcome (each one builds a
   // private sim_env from its own seed), so placement is free to be dynamic.
@@ -55,23 +61,29 @@ std::vector<experiment_outcome> parallel_runner::run(
   std::vector<std::exception_ptr> errors(configs.size());
   auto worker = [&] {
     for (;;) {
+      if (stop != nullptr && stop->load(std::memory_order_relaxed)) return;
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= configs.size()) return;
       try {
-        run_one(configs[i], body, outcomes[i]);
+        experiment_outcome out;
+        run_one(configs[i], body, out);
+        sink(i, std::move(out));
       } catch (...) {
         errors[i] = std::current_exception();
       }
     }
   };
-  std::vector<std::thread> pool;
-  pool.reserve(n_workers);
-  for (unsigned t = 0; t < n_workers; ++t) pool.emplace_back(worker);
-  for (auto& th : pool) th.join();
+  if (n_workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers);
+    for (unsigned t = 0; t < n_workers; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
   for (const auto& e : errors) {
     if (e) std::rethrow_exception(e);  // surface the first failed config
   }
-  return outcomes;
 }
 
 fct_recorder merge_fcts(const std::vector<experiment_outcome>& outcomes) {

@@ -10,6 +10,7 @@
 // independent scenarios, and those embarrass themselves in parallel.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -32,6 +33,13 @@ struct experiment_config {
 };
 
 /// What came back from one scenario.
+///
+/// Move-enabled by contract: the streaming collection path
+/// (`run_streaming`) hands each outcome to the sink by rvalue so the
+/// recorder's flow records and the telemetry plane transfer ownership
+/// instead of being copied — a campaign sink reduces and drops them
+/// without the payload ever existing twice.  Copying stays available for
+/// the keep-everything `run` path.
 struct experiment_outcome {
   experiment_config config;
   fct_recorder fcts;
@@ -42,6 +50,12 @@ struct experiment_outcome {
   /// The job's telemetry plane, if the body attached one to its env
   /// (salvaged before the per-job env dies).  Null when telemetry was off.
   std::shared_ptr<telemetry_plane> telemetry;
+
+  experiment_outcome() = default;
+  experiment_outcome(experiment_outcome&&) noexcept = default;
+  experiment_outcome& operator=(experiment_outcome&&) noexcept = default;
+  experiment_outcome(const experiment_outcome&) = default;
+  experiment_outcome& operator=(const experiment_outcome&) = default;
 };
 
 /// The body of an experiment: build everything from `env` (already seeded
@@ -50,16 +64,37 @@ using experiment_fn =
     std::function<void(const experiment_config&, sim_env& env,
                        fct_recorder& fcts)>;
 
+/// Streaming consumer of finished jobs: called ON THE WORKER THREAD, once
+/// per completed config, with the outcome moved in.  `index` is the
+/// config's position in the sweep (jobs complete in claim order, which is
+/// nondeterministic — the outcome's *content* is not; see the runner doc).
+/// The sink owns whatever synchronization it needs; distinct calls for the
+/// same sink may race only through the sink itself.
+using outcome_sink =
+    std::function<void(std::size_t index, experiment_outcome&& out)>;
+
 class parallel_runner {
  public:
   /// `threads == 0` uses the hardware concurrency (min 1).
   explicit parallel_runner(unsigned threads = 0);
 
   /// Run `body` once per config.  Blocks until the whole sweep is done;
-  /// outcome[i] corresponds to configs[i].
+  /// outcome[i] corresponds to configs[i].  Keeps every outcome alive at
+  /// once — for sweeps too long for that, use `run_streaming`.
   [[nodiscard]] std::vector<experiment_outcome> run(
       const std::vector<experiment_config>& configs,
       const experiment_fn& body) const;
+
+  /// Bounded-memory variant: each finished job is moved into `sink` on the
+  /// worker thread and then dropped, so peak memory tracks the number of
+  /// *active* jobs (<= threads), not the sweep length.  `stop`, when
+  /// non-null and set, keeps workers from claiming further configs (jobs
+  /// already running finish and reach the sink) — the campaign engine's
+  /// interruption hook.  Blocks until all claimed jobs are done; rethrows
+  /// the first failed config's exception after the pool joins.
+  void run_streaming(const std::vector<experiment_config>& configs,
+                     const experiment_fn& body, const outcome_sink& sink,
+                     const std::atomic<bool>* stop = nullptr) const;
 
   [[nodiscard]] unsigned threads() const { return threads_; }
 

@@ -280,6 +280,14 @@ class telemetry_plane {
   /// must match — true for sweeps sharing one blueprint.
   void merge_from(const telemetry_plane& other);
 
+  /// Sum of every armed slot's counters of `kind` — the campaign-scale
+  /// spill view: a whole plane reduced to one `telemetry_counters` per
+  /// component kind (stats/fct_summary.h), so thousand-job sweeps keep a
+  /// few hundred bytes per job instead of the full per-slot arrays.
+  [[nodiscard]] telemetry_counters totals(telemetry_kind kind) const;
+  /// Number of armed slots (any kind).
+  [[nodiscard]] std::size_t armed_slots() const;
+
   /// Exact counter equality across every slot (serial-vs-parallel checks).
   [[nodiscard]] bool counters_equal(const telemetry_plane& other) const {
     return hot_ == other.hot_ && rare_ == other.rare_;

@@ -1,0 +1,101 @@
+// Compact per-job result record for campaign-scale sweeps.
+//
+// A campaign job's full result — its `fct_recorder` (O(completed flows))
+// and, when telemetry is on, its per-slot counter plane (O(fabric slots)) —
+// is reduced on the worker into this fixed-size summary and spilled as one
+// JSONL line, so a thousand-job campaign never accumulates recorders or
+// planes (src/harness/campaign_runner.h).  The summary keeps:
+//
+//  * exact count / still-open / byte / event totals and exact
+//    sum / min / max of the completion times (microseconds);
+//  * a `quantile_sketch` of the FCT distribution — deterministic,
+//    insertion-order independent, mergeable, with a guaranteed relative
+//    error bound (stats/quantile_sketch.h);
+//  * the telemetry plane folded to one `telemetry_counters` total per
+//    component kind (queues / pipes / demuxes) plus the armed-slot count.
+//
+// Serialization contract (the campaign spill / resume contract rides on
+// it): `to_jsonl` is a pure function of the summary — fixed key order,
+// `%.17g` doubles (value-preserving round trip), sketch buckets in
+// ascending index order — so two runs of the same job config emit
+// byte-identical lines, which is what makes a resumed campaign's merged
+// result file bitwise-identical to an uninterrupted run's.  `from_jsonl`
+// is strict: any malformed, truncated or trailing-garbage line is rejected
+// as a whole (never half-parsed), which is how interrupted spill writes
+// are detected on resume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/telemetry.h"
+#include "stats/fct_recorder.h"
+#include "stats/quantile_sketch.h"
+
+namespace ndpsim {
+
+/// A whole telemetry plane folded to per-kind counter totals.
+struct telemetry_summary {
+  bool present = false;  ///< false = the job carried no plane
+  std::uint64_t armed_slots = 0;
+  telemetry_counters queues;
+  telemetry_counters pipes;
+  telemetry_counters demuxes;
+
+  void add(const telemetry_summary& other);
+  [[nodiscard]] static telemetry_summary from_plane(const telemetry_plane& p);
+
+  bool operator==(const telemetry_summary&) const = default;
+};
+
+struct fct_summary {
+  std::uint64_t job = 0;   ///< campaign job id (index into the config list)
+  std::uint64_t hash = 0;  ///< config hash (resume identity check)
+  std::string name;        ///< experiment_config::name
+
+  std::uint64_t flows = 0;      ///< completed flows
+  std::uint64_t still_open = 0; ///< started but not completed
+  std::uint64_t bytes = 0;      ///< payload bytes of completed flows
+  std::uint64_t events = 0;     ///< simulator events the job processed
+  double sum_us = 0;
+  double min_us = 0;
+  double max_us = 0;
+  quantile_sketch sketch;
+  telemetry_summary tele;
+
+  explicit fct_summary(double alpha = quantile_sketch::kDefaultAlpha)
+      : sketch(alpha) {}
+
+  /// Reduce a recorder: exact totals + every completion time sketched.
+  [[nodiscard]] static fct_summary from_recorder(
+      const fct_recorder& rec, double alpha = quantile_sketch::kDefaultAlpha);
+
+  /// Fold a plane in (campaign spill: call once per job, before the plane
+  /// is freed).
+  void set_telemetry(const telemetry_plane& plane) {
+    tele = telemetry_summary::from_plane(plane);
+  }
+
+  /// Campaign-wide aggregation across jobs (exact fields add / min / max;
+  /// sketches merge bucket-wise).  job/hash/name keep this summary's.
+  void merge_from(const fct_summary& other);
+
+  [[nodiscard]] double mean_us() const {
+    return flows > 0 ? sum_us / static_cast<double>(flows) : 0.0;
+  }
+  /// FCT quantile in microseconds, from the sketch (see its error bound).
+  [[nodiscard]] double quantile_us(double q) const {
+    return sketch.quantile(q);
+  }
+
+  /// One deterministic JSONL line (no trailing newline).
+  [[nodiscard]] std::string to_jsonl() const;
+  /// Strict parse of one line; on any defect returns false and leaves
+  /// `out` default-constructed.
+  static bool from_jsonl(std::string_view line, fct_summary& out);
+
+  bool operator==(const fct_summary&) const = default;
+};
+
+}  // namespace ndpsim

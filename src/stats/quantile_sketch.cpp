@@ -1,0 +1,109 @@
+#include "stats/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/assert.h"
+
+namespace ndpsim {
+
+quantile_sketch::quantile_sketch(double alpha) : alpha_(alpha) {
+  NDPSIM_ASSERT_MSG(alpha > 0 && alpha < 1, "sketch alpha out of (0,1)");
+  log_gamma_ = std::log((1.0 + alpha_) / (1.0 - alpha_));
+  min_index_ =
+      static_cast<std::int32_t>(std::ceil(std::log(kMinValue) / log_gamma_));
+  max_index_ =
+      static_cast<std::int32_t>(std::ceil(std::log(kMaxValue) / log_gamma_));
+}
+
+std::int32_t quantile_sketch::bucket_index(double v) const {
+  if (!(v > kMinValue)) return min_index_;  // clamps NaN and <=0 too
+  if (v >= kMaxValue) return max_index_;
+  const auto i = static_cast<std::int32_t>(std::ceil(std::log(v) / log_gamma_));
+  return std::clamp(i, min_index_, max_index_);
+}
+
+double quantile_sketch::bucket_value(std::int32_t index) const {
+  // Geometric midpoint of (gamma^(i-1), gamma^i]: within (1 +- alpha) of
+  // every value the bucket can hold.
+  const double gamma = (1.0 + alpha_) / (1.0 - alpha_);
+  return 2.0 * std::exp(static_cast<double>(index) * log_gamma_) /
+         (gamma + 1.0);
+}
+
+void quantile_sketch::add(double v, std::uint64_t count) {
+  if (count == 0) return;
+  const std::int32_t idx = bucket_index(v);
+  // Sorted sparse insert: FCT distributions hit a few hundred distinct
+  // buckets at most, and most adds land in an existing one.
+  auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), idx,
+      [](const bucket& b, std::int32_t i) { return b.index < i; });
+  if (it != buckets_.end() && it->index == idx) {
+    it->count += count;
+  } else {
+    buckets_.insert(it, bucket{idx, count});
+  }
+  count_ += count;
+}
+
+void quantile_sketch::merge_from(const quantile_sketch& other) {
+  NDPSIM_ASSERT_MSG(alpha_ == other.alpha_,
+                    "merging sketches of different resolution");
+  if (other.buckets_.empty()) return;
+  // Merge-join of two sorted bucket lists; counter adds are commutative, so
+  // (a merge b) == (b merge a) bucket for bucket.
+  std::vector<bucket> merged;
+  merged.reserve(buckets_.size() + other.buckets_.size());
+  auto a = buckets_.begin();
+  auto b = other.buckets_.begin();
+  while (a != buckets_.end() || b != other.buckets_.end()) {
+    if (b == other.buckets_.end() ||
+        (a != buckets_.end() && a->index < b->index)) {
+      merged.push_back(*a++);
+    } else if (a == buckets_.end() || b->index < a->index) {
+      merged.push_back(*b++);
+    } else {
+      merged.push_back(bucket{a->index, a->count + b->count});
+      ++a;
+      ++b;
+    }
+  }
+  buckets_ = std::move(merged);
+  count_ += other.count_;
+}
+
+double quantile_sketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank on the bucket counts (rank 1 = smallest), matching
+  // sample_set::quantile's convention.
+  const auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = 0;
+  for (const bucket& b : buckets_) {
+    seen += b.count;
+    if (seen >= rank) return bucket_value(b.index);
+  }
+  return bucket_value(buckets_.back().index);
+}
+
+bool quantile_sketch::restore(double alpha, const std::vector<bucket>& buckets) {
+  *this = quantile_sketch(alpha);
+  std::uint64_t total = 0;
+  std::int32_t prev = min_index_ - 1;
+  for (const bucket& b : buckets) {
+    if (b.index <= prev || b.index < min_index_ || b.index > max_index_ ||
+        b.count == 0) {
+      *this = quantile_sketch(alpha);
+      return false;
+    }
+    prev = b.index;
+    total += b.count;
+  }
+  buckets_ = buckets;
+  count_ = total;
+  return true;
+}
+
+}  // namespace ndpsim

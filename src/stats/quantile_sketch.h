@@ -1,0 +1,110 @@
+// Fixed-size, deterministic, mergeable quantile sketch for campaign spill.
+//
+// Campaign-scale sweeps (src/harness/campaign_runner.h) reduce every job's
+// `fct_recorder` — O(flows) memory — into a compact `fct_summary` before the
+// recorder is freed, so the sketch must (a) answer quantile queries with a
+// *guaranteed* error bound, (b) merge across jobs, and (c) be bitwise
+// deterministic: a resumed campaign must reproduce the uninterrupted run's
+// spill lines exactly, however its jobs were scheduled or interleaved.
+//
+// The design is the relative-error logarithmic histogram (the DDSketch
+// bucket rule): value v > 0 lands in bucket ceil(log_gamma(v)) with
+// gamma = (1 + alpha) / (1 - alpha), and the bucket is answered as the
+// geometric midpoint 2*gamma^i / (gamma + 1), which is within a factor
+// (1 ± alpha) of every value the bucket can hold.  The consequences we rely
+// on, in order of importance:
+//
+//  * Insertion-order independence.  A bucket index depends only on the
+//    value, never on sketch state: the same multiset of samples produces
+//    the identical sketch whatever order it arrives in — including arriving
+//    pre-aggregated through `merge_from`, which is a plain counter add and
+//    therefore commutative and associative.  (A sampling sketch seeded per
+//    job would be deterministic too, but not order-independent under merge;
+//    determinism here is structural, no RNG involved at all.)
+//  * Fixed size.  The value domain is clamped to [kMinValue, kMaxValue]
+//    (1e-3 .. 1e12, microseconds in practice: sub-nanosecond FCTs and
+//    11-day FCTs are both off the scale of any figure), which caps the
+//    index range at ~864 buckets at the default alpha = 0.02.  Storage is
+//    sparse (sorted index -> count pairs), so a typical per-job FCT
+//    distribution costs a few hundred bytes; the cap is what makes the
+//    worst case campaign-length-independent.
+//  * Relative-error guarantee.  For any quantile q, the reported value is
+//    within alpha (relative) of some sample at rank within one bucket of
+//    the nearest-rank answer — values inside the clamp domain only; the
+//    clamp saturates anything outside.  tests/test_stats.cpp checks the
+//    bound against exact nearest-rank quantiles on recorded FCT
+//    distributions.
+//
+// Exact count / sum / min / max ride alongside in `fct_summary`
+// (stats/fct_summary.h); the sketch only answers interior quantiles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ndpsim {
+
+class quantile_sketch {
+ public:
+  /// Value clamp domain: everything outside saturates to the boundary
+  /// bucket (and is reported as such).  In microseconds this spans 1ps to
+  /// ~11.6 days — no real FCT leaves it.
+  static constexpr double kMinValue = 1e-3;
+  static constexpr double kMaxValue = 1e12;
+  /// Default relative-error target (2%).
+  static constexpr double kDefaultAlpha = 0.02;
+
+  explicit quantile_sketch(double alpha = kDefaultAlpha);
+
+  /// Record one sample (clamped into the value domain).
+  void add(double v, std::uint64_t count = 1);
+
+  /// Fold another sketch in (bucket-wise counter add — commutative, so the
+  /// merged sketch is independent of merge order).  Alphas must match.
+  void merge_from(const quantile_sketch& other);
+
+  /// Quantile q in [0, 1] as the geometric midpoint of the bucket holding
+  /// the nearest-rank sample; within `alpha()` (relative) of the exact
+  /// nearest-rank answer for in-domain values.  Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::size_t buckets() const { return buckets_.size(); }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+
+  /// Bucket index for a value at this sketch's resolution (exposed for the
+  /// serializer and tests).
+  [[nodiscard]] std::int32_t bucket_index(double v) const;
+  /// Representative (geometric midpoint) value of a bucket.
+  [[nodiscard]] double bucket_value(std::int32_t index) const;
+
+  /// Sparse storage, ascending index — the serialization order.  Counts are
+  /// never zero.
+  struct bucket {
+    std::int32_t index;
+    std::uint64_t count;
+    bool operator==(const bucket&) const = default;
+  };
+  [[nodiscard]] const std::vector<bucket>& raw_buckets() const {
+    return buckets_;
+  }
+
+  /// Rebuild from serialized state (parser side).  Returns false (leaving
+  /// the sketch empty) if the buckets are unsorted, duplicated, zero-count
+  /// or out of the clamped index range.
+  bool restore(double alpha, const std::vector<bucket>& buckets);
+
+  bool operator==(const quantile_sketch&) const = default;
+
+ private:
+  double alpha_;
+  double log_gamma_;   ///< ln((1+alpha)/(1-alpha))
+  std::int32_t min_index_;
+  std::int32_t max_index_;
+  std::uint64_t count_ = 0;
+  std::vector<bucket> buckets_;  ///< sorted by index, counts > 0
+};
+
+}  // namespace ndpsim

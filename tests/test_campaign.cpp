@@ -1,0 +1,287 @@
+// Campaign engine contract tests: streaming equivalence, journaled resume
+// with BYTE-identical merged results, and strict rejection of corrupted
+// journal/spill lines.
+//
+// The workload here is deliberately tiny and fabric-free: a deterministic
+// pseudo-experiment derived from the config alone.  The campaign engine
+// never looks inside a job — what is under test is the plumbing (spill,
+// journal, resume, merge), and a toy body makes the identity checks exact
+// and fast.  examples/overload_campaign.cpp --smoke runs the same resume
+// contract against a real FatTree workload in CI.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "harness/campaign_runner.h"
+#include "harness/parallel_runner.h"
+
+namespace ndpsim {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Deterministic toy job: `param` completed flows with FCTs derived from the
+// seed, plus `param2 > 0` leaving one flow open.  A pure function of the
+// config — the same property real bodies get from the per-job sim_env.
+void toy_body(const experiment_config& cfg, sim_env& /*env*/,
+              fct_recorder& fcts) {
+  for (std::int64_t i = 0; i < cfg.param; ++i) {
+    const auto id = static_cast<std::uint32_t>(i);
+    fcts.flow_started(id, 0, 1000 + static_cast<std::uint64_t>(i));
+    const double us =
+        10.0 * static_cast<double>((cfg.seed * (i + 3)) % 97 + 1);
+    fcts.flow_completed(id, from_us(us));
+  }
+  if (cfg.param2 > 0) fcts.flow_started(9999, from_us(1), 50);
+}
+
+std::vector<experiment_config> toy_grid(std::size_t n) {
+  std::vector<experiment_config> configs;
+  for (std::size_t i = 0; i < n; ++i) {
+    experiment_config cfg;
+    cfg.name = "toy_" + std::to_string(i);
+    cfg.seed = 100 + i;
+    cfg.param = static_cast<std::int64_t>(5 + i % 7);
+    cfg.param2 = i % 3 == 0 ? 1.0 : 0.0;
+    configs.push_back(std::move(cfg));
+  }
+  return configs;
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+fs::path fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(experiment_outcome, is_nothrow_movable) {
+  static_assert(std::is_nothrow_move_constructible_v<experiment_outcome>);
+  static_assert(std::is_nothrow_move_assignable_v<experiment_outcome>);
+  // Moving transfers the recorder payload instead of copying it.
+  experiment_outcome a;
+  a.fcts.flow_started(1, 0, 100);
+  a.fcts.flow_completed(1, from_us(10));
+  experiment_outcome b = std::move(a);
+  EXPECT_EQ(b.fcts.completed(), 1u);
+}
+
+TEST(parallel_runner_streaming, sink_sees_every_job_once_equivalently) {
+  const auto configs = toy_grid(9);
+  const parallel_runner runner(3);
+  const std::vector<experiment_outcome> collected =
+      runner.run(configs, toy_body);
+
+  std::mutex mu;
+  std::vector<int> seen(configs.size(), 0);
+  std::vector<experiment_outcome> streamed(configs.size());
+  runner.run_streaming(configs, toy_body,
+                       [&](std::size_t i, experiment_outcome&& out) {
+                         const std::lock_guard<std::mutex> lk(mu);
+                         ++seen[i];
+                         streamed[i] = std::move(out);
+                       });
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ASSERT_EQ(seen[i], 1) << "job " << i;
+    EXPECT_EQ(streamed[i].config.name, collected[i].config.name);
+    EXPECT_EQ(streamed[i].fcts.completed(), collected[i].fcts.completed());
+    EXPECT_EQ(streamed[i].fcts.still_open(), collected[i].fcts.still_open());
+    // Same job, same result: the summaries (and so the spill lines) match.
+    EXPECT_EQ(fct_summary::from_recorder(streamed[i].fcts),
+              fct_summary::from_recorder(collected[i].fcts));
+  }
+}
+
+TEST(parallel_runner_streaming, stop_flag_prevents_further_claims) {
+  const auto configs = toy_grid(12);
+  const parallel_runner runner(1);
+  std::atomic<bool> stop{false};
+  std::size_t ran = 0;
+  runner.run_streaming(configs, toy_body,
+                       [&](std::size_t, experiment_outcome&&) {
+                         if (++ran >= 4) stop.store(true);
+                       },
+                       &stop);
+  // Single worker: the claim after the 4th sink call sees the flag.
+  EXPECT_EQ(ran, 4u);
+}
+
+TEST(campaign_runner, interrupted_resume_merges_bitwise_identical) {
+  const auto configs = toy_grid(11);
+
+  // Reference: one uninterrupted run.
+  campaign_config straight;
+  straight.dir = fresh_dir("campaign_straight").string();
+  straight.threads = 2;
+  const campaign_result full =
+      campaign_runner(straight).run(configs, toy_body);
+  ASSERT_TRUE(full.completed);
+  ASSERT_EQ(full.jobs_run, configs.size());
+  ASSERT_EQ(full.summaries.size(), configs.size());
+
+  // Interrupted: stop claiming after ~half, drop all process state (the
+  // campaign_result goes out of scope), resume from the journal alone.
+  campaign_config interrupted;
+  interrupted.dir = fresh_dir("campaign_resume").string();
+  interrupted.threads = 2;
+  interrupted.max_jobs = configs.size() / 2;
+  {
+    const campaign_result half =
+        campaign_runner(interrupted).run(configs, toy_body);
+    ASSERT_FALSE(half.completed);
+    ASSERT_GE(half.jobs_run, configs.size() / 2);
+    ASSERT_LT(half.jobs_run, configs.size());
+    ASSERT_TRUE(half.merged_path.empty());
+  }
+  campaign_config resumed_cfg = interrupted;
+  resumed_cfg.max_jobs = 0;
+  resumed_cfg.resume = true;
+  const campaign_result resumed =
+      campaign_runner(resumed_cfg).run(configs, toy_body);
+  ASSERT_TRUE(resumed.completed);
+  EXPECT_GT(resumed.jobs_skipped, 0u);
+  EXPECT_EQ(resumed.jobs_skipped + resumed.jobs_run, configs.size());
+  EXPECT_EQ(resumed.journal_rejects, 0u);
+  EXPECT_EQ(resumed.spill_rejects, 0u);
+
+  // THE campaign contract: the merged result file is byte-identical.
+  const std::string a = slurp(full.merged_path);
+  const std::string b = slurp(resumed.merged_path);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+
+  // And the in-memory summaries agree with it line by line.
+  ASSERT_EQ(resumed.summaries.size(), configs.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    EXPECT_EQ(resumed.summaries[i], full.summaries[i]) << "job " << i;
+    EXPECT_EQ(resumed.summaries[i].job, i);
+    EXPECT_EQ(resumed.summaries[i].hash, config_hash(configs[i]));
+  }
+}
+
+TEST(campaign_runner, corrupted_journal_lines_are_rejected_and_rerun) {
+  const auto configs = toy_grid(6);
+  campaign_config cc;
+  cc.dir = fresh_dir("campaign_corrupt").string();
+  cc.threads = 1;
+  const campaign_result first = campaign_runner(cc).run(configs, toy_body);
+  ASSERT_TRUE(first.completed);
+  const std::string reference = slurp(first.merged_path);
+
+  // Corrupt the journal: flip a hash digit on one line (CRC now fails),
+  // truncate another (torn write), and append garbage.
+  const fs::path journal = fs::path(cc.dir) / "journal.jsonl";
+  std::vector<std::string> lines;
+  {
+    std::ifstream in(journal);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), configs.size());
+  const std::size_t hpos = lines[1].find("\"hash\":\"") + 8;
+  lines[1][hpos] = lines[1][hpos] == 'f' ? '0' : 'f';
+  lines[3] = lines[3].substr(0, lines[3].size() / 2);
+  lines.push_back("{\"job\":junk}");
+  {
+    std::ofstream out(journal, std::ios::trunc);
+    for (const std::string& l : lines) out << l << '\n';
+  }
+
+  campaign_config rcfg = cc;
+  rcfg.resume = true;
+  const campaign_result resumed =
+      campaign_runner(rcfg).run(configs, toy_body);
+  ASSERT_TRUE(resumed.completed);
+  // 3 bad lines ignored; the two damaged jobs re-ran.
+  EXPECT_EQ(resumed.journal_rejects, 3u);
+  EXPECT_EQ(resumed.jobs_skipped, configs.size() - 2);
+  EXPECT_EQ(resumed.jobs_run, 2u);
+  // Determinism makes the repair invisible in the merged result.
+  EXPECT_EQ(slurp(resumed.merged_path), reference);
+}
+
+TEST(campaign_runner, corrupted_spill_line_forces_rerun) {
+  const auto configs = toy_grid(5);
+  campaign_config cc;
+  cc.dir = fresh_dir("campaign_spill_corrupt").string();
+  cc.threads = 1;
+  const campaign_result first = campaign_runner(cc).run(configs, toy_body);
+  ASSERT_TRUE(first.completed);
+  const std::string reference = slurp(first.merged_path);
+
+  // Damage one spill line mid-file; its journal entry is intact, but a
+  // journaled job without a trusted spill line must re-run.
+  const fs::path shards = fs::path(cc.dir) / "shards.jsonl";
+  std::string content = slurp(shards);
+  const std::size_t pos = content.find("\"sum_us\":");
+  ASSERT_NE(pos, std::string::npos);
+  content[pos + 9] = 'x';
+  {
+    std::ofstream out(shards, std::ios::trunc | std::ios::binary);
+    out << content;
+  }
+
+  campaign_config rcfg = cc;
+  rcfg.resume = true;
+  const campaign_result resumed =
+      campaign_runner(rcfg).run(configs, toy_body);
+  ASSERT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.spill_rejects, 1u);
+  EXPECT_EQ(resumed.journal_rejects, 1u);  // its journal entry lost its line
+  EXPECT_EQ(resumed.jobs_run, 1u);
+  EXPECT_EQ(slurp(resumed.merged_path), reference);
+}
+
+TEST(campaign_runner, config_drift_reruns_the_changed_job) {
+  auto configs = toy_grid(4);
+  campaign_config cc;
+  cc.dir = fresh_dir("campaign_drift").string();
+  cc.threads = 1;
+  ASSERT_TRUE(campaign_runner(cc).run(configs, toy_body).completed);
+
+  // Change one config: its journaled hash no longer matches, so resume
+  // must re-run it rather than trust the stale result.
+  configs[2].seed += 1;
+  campaign_config rcfg = cc;
+  rcfg.resume = true;
+  const campaign_result resumed =
+      campaign_runner(rcfg).run(configs, toy_body);
+  ASSERT_TRUE(resumed.completed);
+  EXPECT_EQ(resumed.jobs_run, 1u);
+  EXPECT_EQ(resumed.jobs_skipped, configs.size() - 1);
+  EXPECT_EQ(resumed.summaries[2].hash, config_hash(configs[2]));
+}
+
+TEST(campaign_journal, line_round_trips_and_rejects_tampering) {
+  const std::string line = make_journal_line(17, 0x0123456789abcdefULL);
+  std::uint64_t job = 0;
+  std::uint64_t hash = 0;
+  ASSERT_TRUE(parse_journal_line(line, job, hash));
+  EXPECT_EQ(job, 17u);
+  EXPECT_EQ(hash, 0x0123456789abcdefULL);
+
+  // Any single-character change breaks either the format or the CRC.
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    std::string t = line;
+    t[i] = t[i] == 'a' ? 'b' : 'a';
+    if (t == line) continue;
+    EXPECT_FALSE(parse_journal_line(t, job, hash)) << "flip at " << i;
+  }
+  EXPECT_FALSE(parse_journal_line(line.substr(0, line.size() - 1), job, hash));
+  EXPECT_FALSE(parse_journal_line("", job, hash));
+}
+
+}  // namespace
+}  // namespace ndpsim

@@ -1,8 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "net/fifo_queues.h"
 #include "stats/cdf.h"
 #include "stats/fct_recorder.h"
+#include "stats/fct_summary.h"
+#include "stats/quantile_sketch.h"
 #include "stats/rate_sampler.h"
 #include "test_util.h"
 
@@ -114,6 +119,218 @@ TEST(rate_sampler, overall_rate) {
   env.events.schedule_at(b, 0);
   env.events.run_until(from_ms(1));
   EXPECT_NEAR(sampler.overall_rate_bps(), 1e9, 0.1e9);
+}
+
+// ---------------------------------------------------------------------------
+// quantile_sketch: the campaign spill sketch.  Determinism here is
+// structural (bucket index is a pure function of the value), so the same
+// multiset of samples must yield the identical sketch whatever order it
+// arrives in — directly, shuffled, or pre-aggregated through merges in any
+// grouping.
+// ---------------------------------------------------------------------------
+
+// A deterministic heavy-tailed-ish FCT sample: most values around 100us,
+// a long tail into tens of ms (no RNG — tests must not depend on libc rand).
+std::vector<double> synthetic_fcts(std::size_t n) {
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base = 80.0 + static_cast<double>((i * 37) % 100);
+    const double tail = (i % 17 == 0) ? 50.0 * static_cast<double>(1 + i % 7)
+                                      : 1.0;
+    v.push_back(base * tail);
+  }
+  return v;
+}
+
+TEST(quantile_sketch, insertion_order_independent) {
+  const std::vector<double> vals = synthetic_fcts(500);
+  quantile_sketch forward;
+  for (const double v : vals) forward.add(v);
+  quantile_sketch reverse;
+  for (auto it = vals.rbegin(); it != vals.rend(); ++it) reverse.add(*it);
+  // Strided order as a shuffle stand-in (7 is coprime to 500).
+  quantile_sketch strided;
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    strided.add(vals[(i * 7) % vals.size()]);
+  }
+  EXPECT_EQ(forward, reverse);
+  EXPECT_EQ(forward, strided);
+  EXPECT_EQ(forward.count(), vals.size());
+}
+
+TEST(quantile_sketch, merge_grouping_and_order_independent) {
+  const std::vector<double> vals = synthetic_fcts(600);
+  quantile_sketch whole;
+  for (const double v : vals) whole.add(v);
+
+  // Split into three parts, merge in both associations and both orders.
+  quantile_sketch part[3];
+  for (std::size_t i = 0; i < vals.size(); ++i) part[i % 3].add(vals[i]);
+
+  quantile_sketch ab = part[0];
+  ab.merge_from(part[1]);
+  quantile_sketch ab_c = ab;
+  ab_c.merge_from(part[2]);
+
+  quantile_sketch bc = part[2];
+  bc.merge_from(part[1]);
+  quantile_sketch c_ba = bc;
+  c_ba.merge_from(part[0]);
+
+  EXPECT_EQ(ab_c, whole);
+  EXPECT_EQ(c_ba, whole);
+}
+
+TEST(quantile_sketch, error_bound_against_exact_quantiles) {
+  // The guarantee under test: for in-domain values, quantile(q) is within
+  // alpha (relative) of the exact nearest-rank quantile, because the exact
+  // rank-q sample lies inside the bucket the sketch answers from.
+  fct_recorder rec;
+  const std::vector<double> vals = synthetic_fcts(1000);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    const auto id = static_cast<std::uint32_t>(i);
+    rec.flow_started(id, 0, 1000);
+    rec.flow_completed(id, from_us(vals[i]));
+  }
+  const fct_summary s = fct_summary::from_recorder(rec);
+  const sample_set& exact = rec.fct_us();
+  for (const double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    const double e = exact.quantile(q);
+    EXPECT_NEAR(s.quantile_us(q), e, s.sketch.alpha() * e + 1e-9)
+        << "q=" << q;
+  }
+  // Exact fields are exact, not sketched.
+  EXPECT_EQ(s.flows, vals.size());
+  EXPECT_DOUBLE_EQ(s.min_us, exact.min());
+  EXPECT_DOUBLE_EQ(s.max_us, exact.max());
+  EXPECT_NEAR(s.mean_us(), exact.mean(), 1e-9);
+}
+
+TEST(quantile_sketch, clamps_out_of_domain_values) {
+  quantile_sketch s;
+  s.add(0.0);       // <= min clamps (so do negatives and NaN)
+  s.add(-5.0);
+  s.add(1e30);      // > max clamps
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_LE(s.quantile(0.0), quantile_sketch::kMinValue * (1 + s.alpha()));
+  EXPECT_GE(s.quantile(1.0), quantile_sketch::kMaxValue * (1 - s.alpha()));
+}
+
+TEST(quantile_sketch, restore_rejects_malformed_buckets) {
+  quantile_sketch s;
+  // Unsorted.
+  EXPECT_FALSE(s.restore(0.02, {{10, 1}, {5, 1}}));
+  EXPECT_TRUE(s.empty());
+  // Duplicate index.
+  EXPECT_FALSE(s.restore(0.02, {{5, 1}, {5, 2}}));
+  // Zero count.
+  EXPECT_FALSE(s.restore(0.02, {{5, 0}}));
+  // Out of the clamped index range.
+  EXPECT_FALSE(s.restore(0.02, {{1 << 30, 1}}));
+  // A valid restore round-trips.
+  quantile_sketch built;
+  built.add(100.0, 3);
+  built.add(250.0, 2);
+  quantile_sketch restored;
+  EXPECT_TRUE(restored.restore(built.alpha(), built.raw_buckets()));
+  EXPECT_EQ(restored, built);
+}
+
+// ---------------------------------------------------------------------------
+// fct_summary: the per-job spill record.  The campaign resume contract needs
+// (a) byte-identical re-emission after a parse round trip and (b) strict
+// rejection of anything malformed.
+// ---------------------------------------------------------------------------
+
+fct_summary sample_summary(bool with_telemetry) {
+  fct_recorder rec;
+  const std::vector<double> vals = synthetic_fcts(64);
+  for (std::size_t i = 0; i < vals.size(); ++i) {
+    const auto id = static_cast<std::uint32_t>(i);
+    rec.flow_started(id, 0, 9000 * (i + 1));
+    rec.flow_completed(id, from_us(vals[i]));
+  }
+  rec.flow_started(1000, from_us(5), 123);  // left open
+  fct_summary s = fct_summary::from_recorder(rec);
+  s.job = 42;
+  s.hash = 0xdeadbeefcafef00dULL;
+  s.name = "odd \"name\"\\with\tescapes";
+  s.events = 123456789;
+  if (with_telemetry) {
+    s.tele.present = true;
+    s.tele.armed_slots = 96;
+    s.tele.queues.enq_pkts = 1000;
+    s.tele.queues.enq_bytes = 9000000;
+    s.tele.queues.trim_bytes = 8892;
+    s.tele.pipes.enq_pkts = 5000;
+    s.tele.pipes.deq_pkts = 5000;
+    s.tele.demuxes.enq_pkts = 990;
+    s.tele.demuxes.stale_drops = 3;
+  }
+  return s;
+}
+
+TEST(fct_summary, jsonl_round_trip_is_byte_identical) {
+  for (const bool with_tele : {false, true}) {
+    const fct_summary s = sample_summary(with_tele);
+    const std::string line = s.to_jsonl();
+    fct_summary parsed;
+    ASSERT_TRUE(fct_summary::from_jsonl(line, parsed)) << line;
+    EXPECT_EQ(parsed, s);
+    EXPECT_EQ(parsed.to_jsonl(), line);  // re-emission: the resume identity
+  }
+}
+
+TEST(fct_summary, parser_rejects_corruption) {
+  const std::string line = sample_summary(true).to_jsonl();
+  fct_summary out;
+  // Truncations at every prefix length must fail, never half-parse.
+  for (const std::size_t cut : {std::size_t{1}, line.size() / 4,
+                                line.size() / 2, line.size() - 1}) {
+    EXPECT_FALSE(fct_summary::from_jsonl(line.substr(0, cut), out));
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(fct_summary::from_jsonl(line + "x", out));
+  // A flow-count/sketch mismatch (flipped digit) is caught by the
+  // one-sample-per-flow invariant.
+  std::string flipped = line;
+  const std::size_t fpos = flipped.find("\"flows\":");
+  flipped[fpos + 8] = flipped[fpos + 8] == '9' ? '8' : '9';
+  EXPECT_FALSE(fct_summary::from_jsonl(flipped, out));
+  // Unknown escape in the name (a tab is emitted as the six-byte sequence backslash-u0009).
+  std::string bad_esc = line;
+  const std::size_t epos = bad_esc.find("\\u0009");
+  ASSERT_NE(epos, std::string::npos);
+  bad_esc.replace(epos, 6, "\\q");
+  EXPECT_FALSE(fct_summary::from_jsonl(bad_esc, out));
+}
+
+TEST(fct_summary, merge_accumulates_exact_fields_and_sketch) {
+  fct_recorder r1;
+  r1.flow_started(1, 0, 100);
+  r1.flow_completed(1, from_us(10));
+  fct_recorder r2;
+  r2.flow_started(1, 0, 200);
+  r2.flow_completed(1, from_us(1000));
+  r2.flow_started(2, 0, 1);  // open
+
+  fct_summary a = fct_summary::from_recorder(r1);
+  const fct_summary b = fct_summary::from_recorder(r2);
+  a.merge_from(b);
+  EXPECT_EQ(a.flows, 2u);
+  EXPECT_EQ(a.still_open, 1u);
+  EXPECT_EQ(a.bytes, 300u);
+  EXPECT_DOUBLE_EQ(a.min_us, 10.0);
+  EXPECT_DOUBLE_EQ(a.max_us, 1000.0);
+  EXPECT_DOUBLE_EQ(a.sum_us, 1010.0);
+  EXPECT_EQ(a.sketch.count(), 2u);
+
+  // Merging into an empty summary adopts the other's min/max.
+  fct_summary empty;
+  empty.merge_from(b);
+  EXPECT_DOUBLE_EQ(empty.min_us, 1000.0);
+  EXPECT_DOUBLE_EQ(empty.max_us, 1000.0);
 }
 
 }  // namespace

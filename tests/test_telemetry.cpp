@@ -24,6 +24,7 @@
 
 #include "harness/experiments.h"
 #include "harness/parallel_runner.h"
+#include "stats/fct_summary.h"
 #include "stats/telemetry_json.h"
 #include "topo/path_table.h"
 #include "workload/traffic_matrix.h"
@@ -328,6 +329,64 @@ TEST(telemetry_json, summary_and_timeseries_document) {
   EXPECT_NE(doc.find("\"utilization\""), std::string::npos);
   EXPECT_NE(doc.find("\"stale_drops\""), std::string::npos);
   std::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Campaign-scale reduction: plane.totals(kind) must agree with a manual
+// per-slot sum, and telemetry_summary::from_plane (the fct_summary spill
+// view) must be exactly those totals.
+// ---------------------------------------------------------------------------
+
+TEST(telemetry_totals, per_kind_totals_match_manual_slot_sum) {
+  SKIP_WITHOUT_TELEMETRY();
+  fabric_params fp;
+  fp.proto = protocol::ndp;
+  tele_bed tb(17, 4, fp);
+  run_permutation_workload(tb, protocol::ndp);
+  const telemetry_plane& plane = tb.plane();
+
+  std::size_t armed = 0;
+  for (std::uint32_t slot = 0; slot < plane.n_slots(); ++slot) {
+    if (plane.info(slot).armed) ++armed;
+  }
+  EXPECT_EQ(plane.armed_slots(), armed);
+  EXPECT_GT(armed, 0u);
+
+  for (const telemetry_kind kind :
+       {telemetry_kind::queue, telemetry_kind::pipe, telemetry_kind::demux}) {
+    std::uint64_t enq_pkts = 0, enq_bytes = 0, deq_pkts = 0, drop_pkts = 0,
+                  trim_bytes = 0, mark_pkts = 0, stale_drops = 0;
+    for (std::uint32_t slot = 0; slot < plane.n_slots(); ++slot) {
+      const auto& info = plane.info(slot);
+      if (!info.armed || info.kind != kind) continue;
+      const telemetry_counters c = plane.counters(slot);
+      enq_pkts += c.enq_pkts;
+      enq_bytes += c.enq_bytes;
+      deq_pkts += c.deq_pkts;
+      drop_pkts += c.drop_pkts;
+      trim_bytes += c.trim_bytes;
+      mark_pkts += c.mark_pkts;
+      stale_drops += c.stale_drops;
+    }
+    const telemetry_counters t = plane.totals(kind);
+    EXPECT_EQ(t.enq_pkts, enq_pkts) << to_string(kind);
+    EXPECT_EQ(t.enq_bytes, enq_bytes) << to_string(kind);
+    EXPECT_EQ(t.deq_pkts, deq_pkts) << to_string(kind);
+    EXPECT_EQ(t.drop_pkts, drop_pkts) << to_string(kind);
+    EXPECT_EQ(t.trim_bytes, trim_bytes) << to_string(kind);
+    EXPECT_EQ(t.mark_pkts, mark_pkts) << to_string(kind);
+    EXPECT_EQ(t.stale_drops, stale_drops) << to_string(kind);
+  }
+  EXPECT_GT(plane.totals(telemetry_kind::queue).enq_pkts, 0u);
+  EXPECT_GT(plane.totals(telemetry_kind::pipe).enq_pkts, 0u);
+  EXPECT_GT(plane.totals(telemetry_kind::demux).enq_pkts, 0u);
+
+  const telemetry_summary ts = telemetry_summary::from_plane(plane);
+  EXPECT_TRUE(ts.present);
+  EXPECT_EQ(ts.armed_slots, plane.armed_slots());
+  EXPECT_EQ(ts.queues, plane.totals(telemetry_kind::queue));
+  EXPECT_EQ(ts.pipes, plane.totals(telemetry_kind::pipe));
+  EXPECT_EQ(ts.demuxes, plane.totals(telemetry_kind::demux));
 }
 
 }  // namespace
